@@ -1,0 +1,51 @@
+"""E7 — Theorems 5.1/5.2 and 6.1/6.2: liveness and atomicity.
+
+Runs randomized concurrent workloads (with and without server crashes) for
+every protocol and checks that all operations by non-crashed clients
+complete and every execution is linearizable — both with the black-box
+Wing-Gong-Lowe checker and the paper's Lemma 2.1 tag argument.
+"""
+
+import pytest
+
+from repro.analysis.experiments import atomicity_experiment
+
+
+@pytest.mark.parametrize("protocol", ["SODA", "SODAerr", "ABD", "CASGC"])
+def test_atomicity_no_crashes(benchmark, report, protocol):
+    def run():
+        return atomicity_experiment(protocol, n=6, f=2, executions=3, seed=41)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"Atomicity / liveness — {protocol} (no crashes)",
+        [
+            f"executions={result.executions} operations={result.operations} "
+            f"incomplete={result.incomplete_operations} "
+            f"linearizable={result.linearizable_executions} "
+            f"lemma violations={result.lemma_violations}"
+        ],
+    )
+    assert result.linearizable_executions == result.executions
+    assert result.lemma_violations == 0
+    assert result.incomplete_operations == 0
+
+
+@pytest.mark.parametrize("protocol", ["SODA", "ABD"])
+def test_atomicity_with_f_crashes(benchmark, report, protocol):
+    def run():
+        return atomicity_experiment(protocol, n=5, f=2, executions=3, crashes=2, seed=43)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"Atomicity / liveness — {protocol} (f=2 server crashes)",
+        [
+            f"executions={result.executions} operations={result.operations} "
+            f"incomplete={result.incomplete_operations} "
+            f"linearizable={result.linearizable_executions} "
+            f"lemma violations={result.lemma_violations}"
+        ],
+    )
+    assert result.linearizable_executions == result.executions
+    assert result.lemma_violations == 0
+    assert result.incomplete_operations == 0

@@ -1,0 +1,29 @@
+"""E5 — Theorem 5.7: with message delay <= delta, SODA writes finish within
+5*delta and reads within 6*delta.
+
+Runs concurrent workloads over a fixed-delay network and compares the
+maximum observed operation latencies against the bounds, for several delta.
+"""
+
+import pytest
+
+from repro.analysis.experiments import latency_experiment
+
+
+@pytest.mark.parametrize("delta", [0.5, 1.0, 2.0])
+def test_latency_bounds(benchmark, report, delta):
+    def run():
+        return latency_experiment(n=6, f=2, delta=delta, rounds=3, seed=3)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"SODA operation latency (message delay delta={delta})",
+        [
+            f"operations={result.operations}",
+            f"max write latency={result.max_write_latency:.2f}  bound 5*delta={result.write_bound:.2f}",
+            f"max read  latency={result.max_read_latency:.2f}  bound 6*delta={result.read_bound:.2f}",
+        ],
+    )
+    assert result.max_write_latency <= result.write_bound + 1e-9
+    assert result.max_read_latency <= result.read_bound + 1e-9
+    assert result.operations > 0

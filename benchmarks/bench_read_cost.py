@@ -1,0 +1,34 @@
+"""E4 — Theorem 5.6: SODA's read cost is at most (n/(n-f)) (delta_w + 1).
+
+Runs a single read against an increasing number of concurrent writes and
+compares the measured communication cost with the elastic bound evaluated at
+the concurrency the read actually experienced.
+"""
+
+import pytest
+
+from repro.analysis.experiments import read_cost_vs_concurrency
+
+
+@pytest.mark.parametrize("n,f", [(6, 2), (8, 3)])
+def test_read_cost_vs_concurrency(benchmark, report, n, f):
+    levels = (0, 1, 2, 4, 6)
+
+    def run():
+        return read_cost_vs_concurrency(n=n, f=f, concurrency_levels=levels, seed=5)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"SODA read cost vs concurrent writes (n={n}, f={f})",
+        [
+            f"scheduled={p.concurrent_writes} measured delta_w={p.measured_delta_w}: "
+            f"cost={p.measured_cost:.2f}  bound={p.bound:.2f}"
+            for p in points
+        ],
+    )
+    for p in points:
+        assert p.measured_cost <= p.bound + 1e-9
+    # Uncontended read costs exactly n/(n-f).
+    assert points[0].measured_cost == pytest.approx(n / (n - f))
+    # Contended reads may cost more than uncontended ones (elasticity).
+    assert max(p.measured_cost for p in points) >= points[0].measured_cost

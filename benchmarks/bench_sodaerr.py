@@ -1,0 +1,39 @@
+"""E6 — Theorem 6.3: SODAerr costs under injected disk-read errors.
+
+Sweeps the error tolerance e: storage cost n/(n-f-2e), write cost <= 5f^2,
+uncontended read cost n/(n-f-2e), with up to e silently corrupted coded
+elements injected into every read — and the reads must still return the
+correct value (Theorems 6.1/6.2).
+"""
+
+import pytest
+
+from repro.analysis.experiments import sodaerr_experiment
+
+
+@pytest.mark.parametrize("n,f", [(8, 2), (10, 2), (12, 4)])
+def test_sodaerr_costs_and_correctness(benchmark, report, n, f):
+    e_values = tuple(e for e in (0, 1, 2) if n - f - 2 * e >= 1)
+
+    def run():
+        return sodaerr_experiment(n=n, f=f, e_values=e_values, reads=3, seed=17)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"SODAerr cost sweep (n={n}, f={f})",
+        [
+            f"e={p.e}: errors injected={p.errors_injected}  reads correct={p.reads_correct}  "
+            f"storage={p.measured_storage:.3f}/{p.predicted_storage:.3f}  "
+            f"read={p.measured_read_cost:.3f}/{p.predicted_read_cost:.3f}  "
+            f"write={p.measured_write_cost:.2f} (bound {p.write_bound:.0f})"
+            for p in points
+        ],
+    )
+    for p in points:
+        assert p.reads_correct
+        assert p.measured_storage == pytest.approx(p.predicted_storage)
+        assert p.measured_read_cost <= p.predicted_read_cost + 1e-9
+        assert p.measured_write_cost <= p.write_bound + 1e-9
+    # Storage (and read cost) grow with e: the price of error tolerance.
+    storages = [p.measured_storage for p in points]
+    assert storages == sorted(storages)

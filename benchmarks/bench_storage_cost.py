@@ -1,0 +1,32 @@
+"""E2 — Theorem 5.3: SODA's total storage cost is n / (n - f).
+
+Sweeps the fault tolerance f for a fixed system size and checks that the
+measured worst-case total storage equals the predicted n/(n-f) and stays
+below CASGC's (delta + 1)-version provisioning.
+"""
+
+import pytest
+
+from repro.analysis.experiments import storage_cost_vs_f
+
+
+@pytest.mark.parametrize("n", [8, 10, 12])
+def test_storage_cost_vs_f(benchmark, report, n):
+    def run():
+        return storage_cost_vs_f(n=n, seed=7)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"SODA total storage cost vs f (n={n})",
+        [
+            f"f={p.f}: measured={p.measured:.3f}  predicted n/(n-f)={p.predicted:.3f}  "
+            f"CASGC(delta=0)={p.casgc_predicted:.3f}"
+            for p in points
+        ],
+    )
+    for p in points:
+        assert p.measured == pytest.approx(p.predicted)
+    # Storage grows with f but stays at most 2 for f <= (n-1)/2.
+    assert points[-1].measured <= 2.0 + 1e-9
+    measured = [p.measured for p in points]
+    assert measured == sorted(measured)

@@ -1,0 +1,37 @@
+"""E8 — the storage/communication trade-off of Section I-B (ablation).
+
+CASGC provisions (delta + 1) versions of storage up front; SODA keeps
+storage flat at n/(n-f) and pays with an elastic read cost only when reads
+actually experience concurrency.  This ablation sweeps the concurrency
+level and reports both systems' storage and read cost side by side.
+"""
+
+import pytest
+
+from repro.analysis.experiments import tradeoff_experiment
+
+
+def test_storage_vs_communication_tradeoff(benchmark, report):
+    deltas = (0, 1, 2, 4)
+
+    def run():
+        return tradeoff_experiment(n=6, f=2, delta_values=deltas, seed=29)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "CASGC vs SODA trade-off (n=6, f=2)",
+        [
+            f"delta={p.delta}: CASGC storage={p.casgc_storage:.2f} read={p.casgc_read_cost:.2f} | "
+            f"SODA storage={p.soda_storage:.2f} read={p.soda_read_cost:.2f}"
+            for p in points
+        ],
+    )
+    # SODA's storage is flat and always the smallest.
+    soda_storage = {round(p.soda_storage, 6) for p in points}
+    assert len(soda_storage) == 1
+    for p in points:
+        assert p.soda_storage <= p.casgc_storage + 1e-9
+    # CASGC's storage grows linearly with the provisioned delta.
+    casgc = [p.casgc_storage for p in points]
+    assert casgc == sorted(casgc)
+    assert casgc[-1] > casgc[0]

@@ -1,0 +1,44 @@
+"""E3 — Theorem 5.4: SODA's write communication cost is at most 5 f^2.
+
+Sweeps f (with n = 2f + 1, the maximum-tolerance configuration) and checks
+that the measured per-write cost stays below the bound while growing
+super-linearly in f, as the paper predicts.
+"""
+
+import pytest
+
+from repro.analysis.experiments import write_cost_vs_f
+
+
+def test_write_cost_vs_f(benchmark, report):
+    f_values = (1, 2, 3, 4, 5)
+
+    def run():
+        return write_cost_vs_f(f_values, seed=11)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "SODA write cost vs f (n = 2f + 1)",
+        [
+            f"f={p.f} n={p.n}: measured={p.measured:.2f}  bound 5f^2={p.bound:.0f}"
+            for p in points
+        ],
+    )
+    for p in points:
+        assert p.measured <= p.bound + 1e-9
+    # Quadratic-ish growth: the cost at f=5 is much more than 5x the cost at f=1.
+    assert points[-1].measured > 5 * points[0].measured
+
+
+def test_write_cost_fixed_n(benchmark, report):
+    """Same sweep with the system size held fixed (n = 11)."""
+    def run():
+        return write_cost_vs_f((1, 2, 3, 4, 5), n=11, seed=13)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "SODA write cost vs f (fixed n = 11)",
+        [f"f={p.f}: measured={p.measured:.2f}  bound={p.bound:.0f}" for p in points],
+    )
+    for p in points:
+        assert p.measured <= p.bound + 1e-9

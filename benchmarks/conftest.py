@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one artefact of the paper's evaluation
+(see DESIGN.md §4).  Benchmarks both *time* the experiment with
+pytest-benchmark and *print* the measured-vs-predicted rows, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, lines) -> None:
+    """Print an experiment report block (visible with ``-s`` / captured in CI logs)."""
+    print()
+    print(f"=== {title} ===")
+    for line in lines:
+        print(line)
+
+
+@pytest.fixture(scope="session")
+def report():
+    return emit

@@ -1,0 +1,28 @@
+"""Reproduction of "Storage-Optimized Data-Atomic Algorithms for Handling
+Erasures and Errors in Distributed Storage Systems" (Konwar et al., IPDPS
+2016).
+
+Top-level convenience re-exports; see the sub-packages for the full API:
+
+* :mod:`repro.core` — SODA, SODAerr and the message-disperse primitives.
+* :mod:`repro.baselines` — ABD, CAS and CASGC.
+* :mod:`repro.erasure` — the Reed-Solomon / MDS coding substrate.
+* :mod:`repro.sim` — the discrete-event asynchronous-network simulator.
+* :mod:`repro.consistency` — histories and linearizability checking.
+* :mod:`repro.analysis` — closed-form costs, Table I, experiment runners.
+"""
+
+from repro.core import SodaCluster, SodaErrCluster
+from repro.baselines import AbdCluster, CasCluster, CasGcCluster, make_cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SodaCluster",
+    "SodaErrCluster",
+    "AbdCluster",
+    "CasCluster",
+    "CasGcCluster",
+    "make_cluster",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Analysis layer: closed-form costs, Table I, and experiment runners.
+
+* :mod:`repro.analysis.theoretical` — the paper's closed-form cost
+  expressions (Theorems 5.3-5.7, 6.3 and Table I).
+* :mod:`repro.analysis.tables` — regenerates Table I by *measuring* the
+  costs of ABD, CASGC and SODA on simulated executions and printing them
+  next to the paper's predictions.
+* :mod:`repro.analysis.experiments` — one runner per experiment in
+  DESIGN.md (storage sweep, write-cost sweep, read-cost vs concurrency,
+  latency, SODAerr, atomicity, trade-off ablation); used by both the
+  benchmark harness and the CLI.
+"""
+
+from repro.analysis import theoretical
+from repro.analysis.tables import format_table, generate_table1
+from repro.analysis.experiments import (
+    atomicity_experiment,
+    latency_experiment,
+    read_cost_vs_concurrency,
+    sodaerr_experiment,
+    storage_cost_vs_f,
+    tradeoff_experiment,
+    write_cost_vs_f,
+)
+
+__all__ = [
+    "theoretical",
+    "generate_table1",
+    "format_table",
+    "storage_cost_vs_f",
+    "write_cost_vs_f",
+    "read_cost_vs_concurrency",
+    "latency_experiment",
+    "sodaerr_experiment",
+    "atomicity_experiment",
+    "tradeoff_experiment",
+]

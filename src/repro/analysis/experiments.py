@@ -1,0 +1,379 @@
+"""Experiment runners: one function per artefact in DESIGN.md's index.
+
+Each runner builds fresh clusters, drives a workload that isolates the
+quantity of interest, and returns a structured result that pairs the
+*measured* value with the paper's *predicted* value.  The benchmark modules
+under ``benchmarks/`` time these runners with pytest-benchmark and print
+the resulting rows; EXPERIMENTS.md records representative output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import theoretical
+from repro.baselines.casgc import CasGcCluster
+from repro.baselines.registry import make_cluster
+from repro.consistency import check_lemma_properties, check_linearizability
+from repro.core.soda.cluster import SodaCluster
+from repro.core.sodaerr.cluster import SodaErrCluster
+from repro.core.tags import TAG_ZERO
+from repro.sim.network import FixedDelay
+from repro.workloads.generator import WorkloadSpec, run_workload
+from repro.workloads.scenarios import (
+    concurrent_read_scenario,
+    crash_heavy_scenario,
+    sequential_scenario,
+)
+
+
+# ----------------------------------------------------------------------
+# E2: storage cost vs f (Theorem 5.3)
+# ----------------------------------------------------------------------
+@dataclass
+class StoragePoint:
+    n: int
+    f: int
+    measured: float
+    predicted: float
+    casgc_predicted: float
+
+
+def storage_cost_vs_f(
+    n: int = 10,
+    f_values: Optional[Sequence[int]] = None,
+    *,
+    writes: int = 3,
+    seed: int = 0,
+) -> List[StoragePoint]:
+    """Measure SODA's worst-case total storage for a sweep of ``f``."""
+    if f_values is None:
+        f_values = range(1, (n - 1) // 2 + 1)
+    points = []
+    for f in f_values:
+        cluster = SodaCluster(n=n, f=f, seed=seed)
+        sequential_scenario(cluster, num_writes=writes, num_reads=1, seed=seed)
+        points.append(
+            StoragePoint(
+                n=n,
+                f=f,
+                measured=cluster.storage_peak(),
+                predicted=theoretical.soda_storage_cost(n, f),
+                casgc_predicted=theoretical.casgc_storage_cost(n, f, delta=0)
+                if n - 2 * f >= 1
+                else float("nan"),
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# E3: write cost vs f (Theorem 5.4)
+# ----------------------------------------------------------------------
+@dataclass
+class WriteCostPoint:
+    n: int
+    f: int
+    measured: float
+    bound: float
+
+
+def write_cost_vs_f(
+    f_values: Sequence[int] = (1, 2, 3, 4, 5),
+    *,
+    n: Optional[int] = None,
+    value_size: int = 256,
+    seed: int = 0,
+) -> List[WriteCostPoint]:
+    """Measure the per-write communication cost for a sweep of ``f``.
+
+    By default the system size follows ``n = 2f + 1`` (the maximum
+    tolerance configuration); pass ``n`` to fix the system size instead.
+    """
+    points = []
+    for f in f_values:
+        system_n = n if n is not None else 2 * f + 1
+        cluster = SodaCluster(n=system_n, f=f, seed=seed)
+        result = sequential_scenario(
+            cluster, num_writes=3, num_reads=0, value_size=value_size, seed=seed
+        )
+        costs = [cluster.operation_cost(w.op_id) for w in result.writes]
+        points.append(
+            WriteCostPoint(
+                n=system_n,
+                f=f,
+                measured=max(costs),
+                bound=theoretical.soda_write_cost_bound(system_n, f),
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# E4: read cost vs concurrency (Theorem 5.6)
+# ----------------------------------------------------------------------
+@dataclass
+class ReadCostPoint:
+    n: int
+    f: int
+    concurrent_writes: int
+    measured_delta_w: int
+    measured_cost: float
+    bound: float
+
+
+def read_cost_vs_concurrency(
+    n: int = 6,
+    f: int = 2,
+    concurrency_levels: Sequence[int] = (0, 1, 2, 4, 6),
+    *,
+    seed: int = 0,
+) -> List[ReadCostPoint]:
+    """Measure a read's communication cost as concurrent writes increase."""
+    points = []
+    for level in concurrency_levels:
+        cluster = SodaCluster(
+            n=n, f=f, num_writers=max(1, min(level, 4)), num_readers=1, seed=seed
+        )
+        read_op = concurrent_read_scenario(
+            cluster, concurrent_writes=level, seed=seed
+        )
+        delta_w = cluster.measured_delta_w(read_op.op_id)
+        points.append(
+            ReadCostPoint(
+                n=n,
+                f=f,
+                concurrent_writes=level,
+                measured_delta_w=delta_w,
+                measured_cost=cluster.operation_cost(read_op.op_id),
+                bound=theoretical.soda_read_cost(n, f, delta_w),
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# E5: latency (Theorem 5.7)
+# ----------------------------------------------------------------------
+@dataclass
+class LatencyResult:
+    delta: float
+    max_write_latency: float
+    max_read_latency: float
+    write_bound: float
+    read_bound: float
+    operations: int
+
+
+def latency_experiment(
+    n: int = 6,
+    f: int = 2,
+    *,
+    delta: float = 1.0,
+    rounds: int = 4,
+    seed: int = 0,
+) -> LatencyResult:
+    """Run writes and reads over a network with message delay exactly
+    ``delta`` and compare operation durations against 5*delta / 6*delta."""
+    cluster = SodaCluster(
+        n=n, f=f, num_writers=2, num_readers=2, seed=seed, delay_model=FixedDelay(delta)
+    )
+    spec = WorkloadSpec(
+        writes_per_writer=rounds, reads_per_reader=rounds, window=rounds * 8 * delta, seed=seed
+    )
+    run_workload(cluster, spec)
+    tracker = cluster.latency_tracker()
+    writes = tracker.stats("write")
+    reads = tracker.stats("read")
+    return LatencyResult(
+        delta=delta,
+        max_write_latency=writes.max,
+        max_read_latency=reads.max,
+        write_bound=theoretical.soda_write_latency_bound(delta),
+        read_bound=theoretical.soda_read_latency_bound(delta),
+        operations=writes.count + reads.count,
+    )
+
+
+# ----------------------------------------------------------------------
+# E6: SODAerr (Theorem 6.3)
+# ----------------------------------------------------------------------
+@dataclass
+class SodaErrPoint:
+    n: int
+    f: int
+    e: int
+    errors_injected: int
+    reads_correct: bool
+    measured_storage: float
+    predicted_storage: float
+    measured_read_cost: float
+    predicted_read_cost: float
+    measured_write_cost: float
+    write_bound: float
+
+
+def sodaerr_experiment(
+    n: int = 10,
+    f: int = 2,
+    e_values: Sequence[int] = (0, 1, 2),
+    *,
+    reads: int = 3,
+    seed: int = 0,
+) -> List[SodaErrPoint]:
+    """Sweep the error tolerance ``e``, injecting up to ``e`` disk-read
+    errors per read through a single flaky server, and verify correctness
+    plus the Theorem 6.3 cost expressions."""
+    points = []
+    for e in e_values:
+        cluster = SodaErrCluster(
+            n=n,
+            f=f,
+            e=e,
+            error_probability=1.0 if e > 0 else 0.0,
+            error_prone_servers=list(range(e)),
+            seed=seed,
+        )
+        expected_value = b"sodaerr experiment payload"
+        write_rec = cluster.write(expected_value)
+        read_costs = []
+        correct = True
+        for _ in range(reads):
+            rec = cluster.read()
+            read_costs.append(cluster.operation_cost(rec.op_id))
+            correct = correct and rec.value == expected_value
+        cluster.run()
+        points.append(
+            SodaErrPoint(
+                n=n,
+                f=f,
+                e=e,
+                errors_injected=cluster.disk_error_model.errors_injected,
+                reads_correct=correct,
+                measured_storage=cluster.storage_peak(),
+                predicted_storage=theoretical.sodaerr_storage_cost(n, f, e),
+                measured_read_cost=max(read_costs),
+                predicted_read_cost=theoretical.sodaerr_read_cost(n, f, e, 0),
+                measured_write_cost=cluster.operation_cost(write_rec.op_id),
+                write_bound=theoretical.sodaerr_write_cost_bound(n, f, e),
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# E7: liveness & atomicity (Theorems 5.1/5.2, 6.1/6.2)
+# ----------------------------------------------------------------------
+@dataclass
+class AtomicityResult:
+    protocol: str
+    executions: int
+    operations: int
+    incomplete_operations: int
+    linearizable_executions: int
+    lemma_violations: int
+
+
+def atomicity_experiment(
+    protocol: str = "SODA",
+    *,
+    n: int = 5,
+    f: int = 2,
+    executions: int = 5,
+    crashes: int = 0,
+    seed: int = 0,
+    **cluster_kwargs,
+) -> AtomicityResult:
+    """Run randomized concurrent workloads and check every execution for
+    liveness (all operations by non-crashed clients complete) and atomicity
+    (black-box linearizability + the Lemma 2.1 tag argument)."""
+    total_ops = 0
+    incomplete = 0
+    linearizable = 0
+    lemma_violations = 0
+    for i in range(executions):
+        extra = dict(cluster_kwargs)
+        if protocol.upper() == "CASGC":
+            extra.setdefault("delta", 4)
+        if protocol.upper() == "SODAERR":
+            extra.setdefault("e", 1)
+        cluster = make_cluster(
+            protocol, n, f, num_writers=2, num_readers=2, seed=seed + i, **extra
+        )
+        spec = WorkloadSpec(
+            writes_per_writer=3,
+            reads_per_reader=3,
+            window=10.0,
+            server_crashes=crashes,
+            seed=seed + 1000 + i,
+        )
+        run_workload(cluster, spec)
+        ops = cluster.history.operations()
+        total_ops += len(ops)
+        incomplete += len(cluster.history.incomplete_operations())
+        if check_linearizability(cluster.history, initial_value=b""):
+            linearizable += 1
+        lemma_violations += len(
+            check_lemma_properties(
+                cluster.history, initial_tag=TAG_ZERO, initial_value=b""
+            )
+        )
+    return AtomicityResult(
+        protocol=protocol,
+        executions=executions,
+        operations=total_ops,
+        incomplete_operations=incomplete,
+        linearizable_executions=linearizable,
+        lemma_violations=lemma_violations,
+    )
+
+
+# ----------------------------------------------------------------------
+# E8: storage/communication trade-off ablation (Section I-B discussion)
+# ----------------------------------------------------------------------
+@dataclass
+class TradeoffPoint:
+    delta: int
+    casgc_storage: float
+    casgc_read_cost: float
+    soda_storage: float
+    soda_read_cost: float
+
+
+def tradeoff_experiment(
+    n: int = 6,
+    f: int = 2,
+    delta_values: Sequence[int] = (0, 1, 2, 4),
+    *,
+    seed: int = 0,
+) -> List[TradeoffPoint]:
+    """CASGC vs SODA as the concurrency bound grows.
+
+    CASGC's storage is provisioned for ``delta`` up front; SODA's storage is
+    flat and only its read cost grows when reads actually experience
+    concurrency.  Both systems are measured under a workload with roughly
+    ``delta`` writes overlapping each read.
+    """
+    points = []
+    for delta in delta_values:
+        casgc = CasGcCluster(
+            n=n, f=f, delta=delta, num_writers=max(1, min(delta, 3)), seed=seed
+        )
+        casgc_read = concurrent_read_scenario(
+            casgc, concurrent_writes=delta, seed=seed
+        )
+        soda = SodaCluster(
+            n=n, f=f, num_writers=max(1, min(delta, 3)), seed=seed
+        )
+        soda_read = concurrent_read_scenario(soda, concurrent_writes=delta, seed=seed)
+        points.append(
+            TradeoffPoint(
+                delta=delta,
+                casgc_storage=casgc.storage_peak(),
+                casgc_read_cost=casgc.operation_cost(casgc_read.op_id),
+                soda_storage=soda.storage_peak(),
+                soda_read_cost=soda.operation_cost(soda_read.op_id),
+            )
+        )
+    return points

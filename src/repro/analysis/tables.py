@@ -1,0 +1,184 @@
+"""Regeneration of Table I (performance comparison of ABD, CASGC and SODA).
+
+The paper's Table I compares worst-case write cost, read cost and total
+storage cost of the three algorithms at the maximum tolerable failure level
+``f = f_max = n/2 - 1`` (``n`` even).  :func:`generate_table1` re-derives
+those numbers two ways:
+
+* *predicted* — the closed-form expressions of
+  :mod:`repro.analysis.theoretical`;
+* *measured* — worst-case values observed while actually running each
+  protocol on the simulated asynchronous network with a concurrent
+  workload (the same workload for every protocol).
+
+The measured numbers are expected to sit at or below the predicted
+worst-case bounds while preserving the ordering the paper reports: ABD pays
+``n`` everywhere, CASGC pays ``~n/2`` communication but ``(delta+1) * n/2``
+storage, SODA pays ``O(f^2)`` on writes but only ``~2`` units of storage
+and an elastic ``~2 (delta_w + 1)`` read cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis import theoretical
+from repro.baselines.registry import make_cluster
+from repro.runtime.cluster import RegisterCluster
+from repro.workloads.generator import WorkloadSpec, run_workload
+
+
+@dataclass
+class Table1Entry:
+    """One protocol's row: measured vs. predicted."""
+
+    algorithm: str
+    n: int
+    f: int
+    measured_write_cost: float
+    measured_read_cost: float
+    measured_storage_cost: float
+    predicted_write_cost: float
+    predicted_read_cost: float
+    predicted_storage_cost: float
+    notes: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "f": self.f,
+            "measured_write_cost": round(self.measured_write_cost, 3),
+            "measured_read_cost": round(self.measured_read_cost, 3),
+            "measured_storage_cost": round(self.measured_storage_cost, 3),
+            "predicted_write_cost": round(self.predicted_write_cost, 3),
+            "predicted_read_cost": round(self.predicted_read_cost, 3),
+            "predicted_storage_cost": round(self.predicted_storage_cost, 3),
+            "notes": self.notes,
+        }
+
+
+def _run_comparison_workload(cluster: RegisterCluster, spec: WorkloadSpec):
+    result = run_workload(cluster, spec)
+    write_costs = result.write_costs(cluster)
+    read_costs = result.read_costs(cluster)
+    return (
+        max(write_costs, default=0.0),
+        max(read_costs, default=0.0),
+        cluster.storage_peak(),
+    )
+
+
+def generate_table1(
+    n: int = 6,
+    *,
+    delta: int = 2,
+    writes_per_writer: int = 2,
+    reads_per_reader: int = 2,
+    num_writers: int = 2,
+    num_readers: int = 2,
+    value_size: int = 64,
+    seed: int = 0,
+) -> List[Table1Entry]:
+    """Measure Table I at ``f = f_max`` for the given (even) ``n``.
+
+    ``delta`` is the garbage-collection depth given to CASGC; SODA needs no
+    such parameter (its read cost adapts to the concurrency actually
+    experienced — the "elastic" property the paper emphasises).
+    """
+    if n % 2 != 0:
+        raise ValueError("Table I assumes an even number of servers")
+    f = n // 2 - 1
+    spec = WorkloadSpec(
+        writes_per_writer=writes_per_writer,
+        reads_per_reader=reads_per_reader,
+        window=8.0,
+        value_size=value_size,
+        seed=seed,
+    )
+    entries: List[Table1Entry] = []
+
+    protocols = [
+        ("ABD", {}, "read cost includes the write-back phase"),
+        ("CASGC", {"delta": delta}, f"garbage collection keeps delta+1={delta + 1} versions"),
+        ("SODA", {}, "read cost grows with the measured concurrency delta_w"),
+    ]
+    for name, extra, notes in protocols:
+        cluster = make_cluster(
+            name,
+            n,
+            f,
+            num_writers=num_writers,
+            num_readers=num_readers,
+            seed=seed,
+            **extra,
+        )
+        measured_write, measured_read, measured_storage = _run_comparison_workload(
+            cluster, spec
+        )
+        if name == "ABD":
+            predicted = (
+                theoretical.abd_write_cost(n),
+                theoretical.abd_read_cost(n),
+                theoretical.abd_storage_cost(n),
+            )
+        elif name == "CASGC":
+            predicted = (
+                theoretical.cas_communication_cost(n, f),
+                theoretical.cas_communication_cost(n, f),
+                theoretical.casgc_storage_cost(n, f, delta),
+            )
+        else:
+            # SODA's predicted read cost uses the worst measured delta_w so
+            # the bound is evaluated on the same executions it is compared to.
+            delta_ws = [
+                cluster.measured_delta_w(h.op_id)
+                for h in _read_handles(cluster)
+                if h is not None
+            ]
+            worst_delta_w = max(delta_ws, default=0)
+            predicted = (
+                theoretical.soda_write_cost_bound(n, f),
+                theoretical.soda_read_cost(n, f, worst_delta_w),
+                theoretical.soda_storage_cost(n, f),
+            )
+            notes = f"{notes} (worst measured delta_w = {worst_delta_w})"
+        entries.append(
+            Table1Entry(
+                algorithm=name,
+                n=n,
+                f=f,
+                measured_write_cost=measured_write,
+                measured_read_cost=measured_read,
+                measured_storage_cost=measured_storage,
+                predicted_write_cost=predicted[0],
+                predicted_read_cost=predicted[1],
+                predicted_storage_cost=predicted[2],
+                notes=notes,
+            )
+        )
+    return entries
+
+
+def _read_handles(cluster: RegisterCluster):
+    """Completed reads of a cluster as pseudo-handles (op records)."""
+    return [op for op in cluster.history.reads() if op.is_complete]
+
+
+def format_table(entries: List[Table1Entry]) -> str:
+    """Render entries as a fixed-width text table (the paper's Table I layout,
+    with measured and predicted columns side by side)."""
+    header = (
+        f"{'Algorithm':<10} {'n':>3} {'f':>3} "
+        f"{'write (meas/pred)':>20} {'read (meas/pred)':>20} {'storage (meas/pred)':>22}"
+    )
+    lines = [header, "-" * len(header)]
+    for e in entries:
+        lines.append(
+            f"{e.algorithm:<10} {e.n:>3} {e.f:>3} "
+            f"{e.measured_write_cost:>9.2f}/{e.predicted_write_cost:<9.2f} "
+            f"{e.measured_read_cost:>9.2f}/{e.predicted_read_cost:<9.2f} "
+            f"{e.measured_storage_cost:>10.2f}/{e.predicted_storage_cost:<10.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,479 @@
+"""The Coded Atomic Storage (CAS) algorithm of Cadambe et al. [1].
+
+CAS is the erasure-coded baseline the paper compares against.  It uses an
+``[n, k]`` MDS code with ``k = n - 2f`` and quorums of size
+``ceil((n + k) / 2) = n - f``.  Each operation has three phases for writes
+and two for reads:
+
+* **Write**: *query* the servers for their highest finalized tag (quorum),
+  form the new tag; *pre-write* one coded element to each server (quorum of
+  acks); *finalize* the tag (quorum of acks).  Only finalized tags are
+  visible to readers, which is what makes concurrent reads safe even though
+  different servers may hold elements of different pending writes.
+* **Read**: *query* for the highest finalized tag; *finalize* that tag at
+  the servers, which reply with their coded element for it if they hold
+  one; decode once ``k`` elements arrive (the quorum intersection argument
+  guarantees at least ``k`` of the responding servers do hold it).
+
+Communication cost per operation is ``n / k = n / (n - 2f)`` data units.
+CAS never removes old coded elements, so its storage cost grows with the
+number of writes — that is exactly the weakness CASGC (garbage collection,
+see :mod:`repro.baselines.casgc`) and SODA address.
+
+This implementation is reconstructed from the algorithm description in [1]
+(no open-source comparator is available offline); it is intentionally kept
+close to the above phase structure so the measured costs reflect the
+protocol rather than implementation shortcuts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.consistency.history import READ, WRITE, History
+from repro.core.tags import TAG_ZERO, Tag, max_tag
+from repro.erasure.mds import CodedElement, MDSCode
+from repro.erasure.rs import ReedSolomonCode
+from repro.metrics.costs import StorageTracker
+from repro.runtime.cluster import RegisterCluster
+from repro.sim.process import Process
+
+
+# ----------------------------------------------------------------------
+# messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CasQueryRequest:
+    """Ask a server for its highest *finalized* tag."""
+
+    op_id: str
+    data_units: float = 0.0
+
+
+@dataclass(frozen=True)
+class CasQueryResponse:
+    op_id: str
+    tag: Tag
+    data_units: float = 0.0
+
+
+@dataclass(frozen=True)
+class CasPreWriteRequest:
+    """Store one coded element under ``tag`` with the 'pre' label."""
+
+    op_id: str
+    tag: Tag
+    element: CodedElement
+    data_units: float = 0.0
+
+
+@dataclass(frozen=True)
+class CasPreWriteAck:
+    op_id: str
+    tag: Tag
+    data_units: float = 0.0
+
+
+@dataclass(frozen=True)
+class CasFinalizeRequest:
+    """Mark ``tag`` as finalized.  ``reply_with_element`` is set by readers,
+    which need the coded elements back to decode."""
+
+    op_id: str
+    tag: Tag
+    reply_with_element: bool
+    data_units: float = 0.0
+
+
+@dataclass(frozen=True)
+class CasFinalizeAck:
+    op_id: str
+    tag: Tag
+    element: Optional[CodedElement]
+    server_index: int
+    data_units: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# server
+# ----------------------------------------------------------------------
+@dataclass
+class _StoredVersion:
+    element: Optional[CodedElement]
+    finalized: bool
+
+
+class CasServer(Process):
+    """A CAS / CASGC storage server.
+
+    ``gc_depth`` controls garbage collection: ``None`` keeps every version
+    (plain CAS); an integer ``delta`` keeps coded elements only for the
+    ``delta + 1`` highest *finalized-or-pending* tags (CASGC).  Metadata
+    (tags, labels) is always kept — only coded elements are dropped, which
+    is what the storage cost model counts.
+    """
+
+    def __init__(
+        self,
+        pid: str,
+        index: int,
+        code: MDSCode,
+        *,
+        initial_element: Optional[CodedElement] = None,
+        gc_depth: Optional[int] = None,
+        storage_tracker: Optional[StorageTracker] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.index = index
+        self.code = code
+        self.gc_depth = gc_depth
+        self.storage_tracker = storage_tracker
+        self.versions: Dict[Tag, _StoredVersion] = {}
+        if initial_element is not None:
+            self.versions[TAG_ZERO] = _StoredVersion(element=initial_element, finalized=True)
+        self.gc_evictions = 0
+
+    # -- storage accounting ---------------------------------------------
+    @property
+    def stored_data_units(self) -> float:
+        return sum(
+            self.code.element_data_units
+            for v in self.versions.values()
+            if v.element is not None
+        )
+
+    def _notify_storage(self) -> None:
+        if self.storage_tracker is not None:
+            self.storage_tracker.update(self.pid, self.stored_data_units, time=self.now)
+
+    def attach(self, simulation) -> None:
+        super().attach(simulation)
+        self._notify_storage()
+
+    # -- request handling -------------------------------------------------
+    def on_message(self, sender: str, message: object) -> None:
+        if isinstance(message, CasQueryRequest):
+            finalized = [t for t, v in self.versions.items() if v.finalized]
+            tag = max_tag(finalized) if finalized else TAG_ZERO
+            self.send(sender, CasQueryResponse(op_id=message.op_id, tag=tag))
+        elif isinstance(message, CasPreWriteRequest):
+            existing = self.versions.get(message.tag)
+            if existing is None:
+                self.versions[message.tag] = _StoredVersion(
+                    element=message.element, finalized=False
+                )
+            elif existing.element is None:
+                existing.element = message.element
+            self._garbage_collect()
+            self._notify_storage()
+            self.send(sender, CasPreWriteAck(op_id=message.op_id, tag=message.tag))
+        elif isinstance(message, CasFinalizeRequest):
+            version = self.versions.get(message.tag)
+            if version is None:
+                version = _StoredVersion(element=None, finalized=True)
+                self.versions[message.tag] = version
+            else:
+                version.finalized = True
+            self._garbage_collect()
+            self._notify_storage()
+            element = version.element if message.reply_with_element else None
+            self.send(
+                sender,
+                CasFinalizeAck(
+                    op_id=message.op_id,
+                    tag=message.tag,
+                    element=element,
+                    server_index=self.index,
+                    data_units=(
+                        self.code.element_data_units if element is not None else 0.0
+                    ),
+                ),
+            )
+
+    # -- garbage collection (CASGC only) ----------------------------------
+    def _garbage_collect(self) -> None:
+        if self.gc_depth is None:
+            return
+        tags_with_elements = sorted(
+            (t for t, v in self.versions.items() if v.element is not None),
+            reverse=True,
+        )
+        for tag in tags_with_elements[self.gc_depth + 1 :]:
+            self.versions[tag].element = None
+            self.gc_evictions += 1
+
+
+# ----------------------------------------------------------------------
+# clients
+# ----------------------------------------------------------------------
+@dataclass
+class _CasWrite:
+    op_id: str
+    value: bytes
+    phase: str = "query"
+    query_responses: Dict[str, Tag] = field(default_factory=dict)
+    tag: Optional[Tag] = None
+    prewrite_acks: Set[str] = field(default_factory=set)
+    finalize_acks: Set[str] = field(default_factory=set)
+    callback: Optional[Callable] = None
+
+
+class CasWriter(Process):
+    """A CAS write client (query / pre-write / finalize)."""
+
+    def __init__(
+        self,
+        pid: str,
+        servers: Sequence[str],
+        code: MDSCode,
+        quorum_size: int,
+        history: Optional[History] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.servers = list(servers)
+        self.code = code
+        self.quorum = quorum_size
+        self.history = history
+        self._current: Optional[_CasWrite] = None
+        self._op_counter = 0
+        self.completed_writes: List[str] = []
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    def start_write(self, value: bytes, callback: Optional[Callable] = None) -> str:
+        if self._current is not None:
+            raise RuntimeError(f"writer {self.pid} already has a write in flight")
+        if self.is_crashed:
+            raise RuntimeError(f"writer {self.pid} has crashed")
+        self._op_counter += 1
+        op_id = f"write:{self.pid}:{self._op_counter}"
+        self._current = _CasWrite(op_id=op_id, value=value, callback=callback)
+        if self.history is not None:
+            self.history.invoke(op_id, WRITE, str(self.pid), self.now, value=value)
+        for s in self.servers:
+            self.send(s, CasQueryRequest(op_id=op_id))
+        return op_id
+
+    def is_complete(self, op_id: str) -> bool:
+        return op_id in self.completed_writes
+
+    def on_message(self, sender: str, message: object) -> None:
+        op = self._current
+        if op is None:
+            return
+        if isinstance(message, CasQueryResponse) and message.op_id == op.op_id:
+            if op.phase != "query":
+                return
+            op.query_responses[sender] = message.tag
+            if len(op.query_responses) < self.quorum:
+                return
+            op.tag = max_tag(op.query_responses.values()).next_for(str(self.pid))
+            op.phase = "prewrite"
+            elements = self.code.encode(op.value)
+            for idx, s in enumerate(self.servers):
+                self.send(
+                    s,
+                    CasPreWriteRequest(
+                        op_id=op.op_id,
+                        tag=op.tag,
+                        element=elements[idx],
+                        data_units=self.code.element_data_units,
+                    ),
+                )
+        elif isinstance(message, CasPreWriteAck) and message.op_id == op.op_id:
+            if op.phase != "prewrite" or message.tag != op.tag:
+                return
+            op.prewrite_acks.add(sender)
+            if len(op.prewrite_acks) < self.quorum:
+                return
+            op.phase = "finalize"
+            for s in self.servers:
+                self.send(
+                    s,
+                    CasFinalizeRequest(
+                        op_id=op.op_id, tag=op.tag, reply_with_element=False
+                    ),
+                )
+        elif isinstance(message, CasFinalizeAck) and message.op_id == op.op_id:
+            if op.phase != "finalize" or message.tag != op.tag:
+                return
+            op.finalize_acks.add(sender)
+            if len(op.finalize_acks) < self.quorum:
+                return
+            op.phase = "done"
+            self.completed_writes.append(op.op_id)
+            self._current = None
+            if self.history is not None:
+                self.history.respond(op.op_id, self.now, tag=op.tag)
+            if op.callback is not None:
+                op.callback(op.tag)
+
+    def on_crash(self) -> None:
+        if self._current is not None and self.history is not None:
+            self.history.mark_failed(self._current.op_id)
+
+
+@dataclass
+class _CasRead:
+    op_id: str
+    phase: str = "query"
+    query_responses: Dict[str, Tag] = field(default_factory=dict)
+    tag: Optional[Tag] = None
+    elements: Dict[int, CodedElement] = field(default_factory=dict)
+    responders: Set[str] = field(default_factory=set)
+    value: Optional[bytes] = None
+    callback: Optional[Callable] = None
+
+
+class CasReader(Process):
+    """A CAS read client (query / finalize-and-collect)."""
+
+    def __init__(
+        self,
+        pid: str,
+        servers: Sequence[str],
+        code: MDSCode,
+        quorum_size: int,
+        history: Optional[History] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.servers = list(servers)
+        self.code = code
+        self.quorum = quorum_size
+        self.history = history
+        self._current: Optional[_CasRead] = None
+        self._op_counter = 0
+        self.completed_reads: List[str] = []
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    def start_read(self, callback: Optional[Callable] = None) -> str:
+        if self._current is not None:
+            raise RuntimeError(f"reader {self.pid} already has a read in flight")
+        if self.is_crashed:
+            raise RuntimeError(f"reader {self.pid} has crashed")
+        self._op_counter += 1
+        op_id = f"read:{self.pid}:{self._op_counter}"
+        self._current = _CasRead(op_id=op_id, callback=callback)
+        if self.history is not None:
+            self.history.invoke(op_id, READ, str(self.pid), self.now)
+        for s in self.servers:
+            self.send(s, CasQueryRequest(op_id=op_id))
+        return op_id
+
+    def is_complete(self, op_id: str) -> bool:
+        return op_id in self.completed_reads
+
+    def on_message(self, sender: str, message: object) -> None:
+        op = self._current
+        if op is None:
+            return
+        if isinstance(message, CasQueryResponse) and message.op_id == op.op_id:
+            if op.phase != "query":
+                return
+            op.query_responses[sender] = message.tag
+            if len(op.query_responses) < self.quorum:
+                return
+            op.tag = max_tag(op.query_responses.values())
+            op.phase = "collect"
+            for s in self.servers:
+                self.send(
+                    s,
+                    CasFinalizeRequest(
+                        op_id=op.op_id, tag=op.tag, reply_with_element=True
+                    ),
+                )
+        elif isinstance(message, CasFinalizeAck) and message.op_id == op.op_id:
+            if op.phase != "collect" or message.tag != op.tag:
+                return
+            op.responders.add(sender)
+            if message.element is not None:
+                op.elements[message.element.index] = message.element
+            if len(op.elements) < self.code.k:
+                return
+            value = self.code.decode(list(op.elements.values()))
+            op.value = value
+            op.phase = "done"
+            self.completed_reads.append(op.op_id)
+            self._current = None
+            if self.history is not None:
+                self.history.respond(op.op_id, self.now, value=value, tag=op.tag)
+            if op.callback is not None:
+                op.callback(value, op.tag)
+
+    def on_crash(self) -> None:
+        if self._current is not None and self.history is not None:
+            self.history.mark_failed(self._current.op_id)
+
+
+# ----------------------------------------------------------------------
+# cluster façade
+# ----------------------------------------------------------------------
+class CasCluster(RegisterCluster):
+    """An ``n``-server CAS deployment tolerating ``f`` crashes (``k = n - 2f``)."""
+
+    protocol_name = "CAS"
+
+    #: Garbage-collection depth; ``None`` disables GC (plain CAS).
+    gc_depth: Optional[int] = None
+
+    def _validate_parameters(self) -> None:
+        super()._validate_parameters()
+        if self.n - 2 * self.f < 1:
+            raise ValueError(
+                f"CAS requires k = n - 2f >= 1, got n={self.n}, f={self.f}"
+            )
+
+    @property
+    def k(self) -> int:
+        return self.n - 2 * self.f
+
+    @property
+    def quorum_size(self) -> int:
+        """``ceil((n + k) / 2)`` — with ``k = n - 2f`` this is ``n - f``."""
+        return -(-(self.n + self.k) // 2)
+
+    def _build_code(self) -> MDSCode:
+        return ReedSolomonCode(self.n, self.n - 2 * self.f)
+
+    def _make_server(self, index: int, pid: str) -> CasServer:
+        return CasServer(
+            pid,
+            index,
+            self.code,
+            initial_element=self.initial_elements[index],
+            gc_depth=self.gc_depth,
+            storage_tracker=self.storage,
+        )
+
+    def _make_writer(self, pid: str) -> CasWriter:
+        return CasWriter(
+            pid, self.server_ids, self.code, self.quorum_size, history=self.history
+        )
+
+    def _make_reader(self, pid: str) -> CasReader:
+        return CasReader(
+            pid, self.server_ids, self.code, self.quorum_size, history=self.history
+        )
+
+    # ------------------------------------------------------------------
+    # paper-facing theoretical quantities
+    # ------------------------------------------------------------------
+    def theoretical_write_cost_bound(self) -> float:
+        return self.n / (self.n - 2 * self.f)
+
+    def theoretical_read_cost(self, delta_w: int = 0) -> float:
+        return self.n / (self.n - 2 * self.f)
+
+    def theoretical_storage_cost(self, versions: Optional[int] = None) -> float:
+        """Plain CAS keeps every version: the storage cost after ``versions``
+        completed writes is ``(versions + 1) * n / (n - 2f)`` (the ``+ 1``
+        accounts for the initial value)."""
+        if versions is None:
+            versions = len([w for w in self.history.writes() if w.is_complete])
+        return (versions + 1) * self.n / (self.n - 2 * self.f)

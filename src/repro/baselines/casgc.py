@@ -1,0 +1,59 @@
+"""CAS with Garbage Collection (CASGC), the paper's main coded baseline.
+
+CASGC is CAS (see :mod:`repro.baselines.cas`) plus server-side garbage
+collection: each server keeps coded elements for at most ``delta + 1``
+versions, where ``delta`` is an a-priori bound on the number of writes
+concurrent with any read.  This caps the worst-case total storage cost at
+``(n / (n - 2f)) * (delta + 1)`` — the Table I, row 2 figure — at the price
+of a *rigid* dependence on ``delta``: liveness of reads is only guaranteed
+when the concurrency bound holds, and the storage is consumed even when
+there is no concurrency at all (the comparison SODA draws in Section I-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.cas import CasCluster
+from repro.sim.network import DelayModel
+
+
+class CasGcCluster(CasCluster):
+    """An ``n``-server CASGC deployment with garbage-collection depth ``delta``."""
+
+    protocol_name = "CASGC"
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        *,
+        delta: int = 0,
+        num_writers: int = 1,
+        num_readers: int = 1,
+        seed: int = 0,
+        delay_model: Optional[DelayModel] = None,
+        initial_value: bytes = b"",
+        keep_message_trace: bool = False,
+    ) -> None:
+        if delta < 0:
+            raise ValueError("delta (the concurrency bound) must be non-negative")
+        self.delta = delta
+        self.gc_depth = delta
+        super().__init__(
+            n,
+            f,
+            num_writers=num_writers,
+            num_readers=num_readers,
+            seed=seed,
+            delay_model=delay_model,
+            initial_value=initial_value,
+            keep_message_trace=keep_message_trace,
+        )
+
+    # ------------------------------------------------------------------
+    # paper-facing theoretical quantities (Table I, row 2)
+    # ------------------------------------------------------------------
+    def theoretical_storage_cost(self, versions: Optional[int] = None) -> float:
+        """Worst-case total storage: ``(n / (n - 2f)) * (delta + 1)``."""
+        return self.n / (self.n - 2 * self.f) * (self.delta + 1)

@@ -1,0 +1,47 @@
+"""Registry of every atomic-register protocol available in this repository.
+
+The comparison experiments (Table I, the storage/communication trade-off
+ablation) iterate over protocols by name; this module centralises the
+construction so benchmarks, examples and the CLI all build clusters the
+same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.baselines.abd import AbdCluster
+from repro.baselines.cas import CasCluster
+from repro.baselines.casgc import CasGcCluster
+from repro.core.soda.cluster import SodaCluster
+from repro.core.sodaerr.cluster import SodaErrCluster
+from repro.runtime.cluster import RegisterCluster
+
+
+def available_protocols() -> List[str]:
+    """Names accepted by :func:`make_cluster`."""
+    return ["ABD", "CAS", "CASGC", "SODA", "SODAerr"]
+
+
+def make_cluster(protocol: str, n: int, f: int, **kwargs) -> RegisterCluster:
+    """Build a cluster of the named protocol.
+
+    Protocol-specific keyword arguments: ``delta`` for CASGC (concurrency
+    bound used by garbage collection), ``e`` and the error-injection
+    controls for SODAerr.  All other keyword arguments are passed through to
+    the cluster constructor (seed, delay model, client counts, ...).
+    """
+    name = protocol.strip().upper()
+    if name == "ABD":
+        return AbdCluster(n, f, **kwargs)
+    if name == "CAS":
+        return CasCluster(n, f, **kwargs)
+    if name == "CASGC":
+        return CasGcCluster(n, f, **kwargs)
+    if name == "SODA":
+        return SodaCluster(n, f, **kwargs)
+    if name == "SODAERR":
+        return SodaErrCluster(n, f, **kwargs)
+    raise ValueError(
+        f"unknown protocol {protocol!r}; available: {', '.join(available_protocols())}"
+    )

@@ -1,0 +1,160 @@
+"""Command-line interface for the SODA reproduction.
+
+Usage examples::
+
+    python -m repro.cli list
+    python -m repro.cli table1 --n 6 --delta 2
+    python -m repro.cli demo --protocol SODA --n 5 --f 2
+    python -m repro.cli experiment storage --n 10
+    python -m repro.cli experiment read-cost --n 6 --f 2
+    python -m repro.cli experiment latency --delta 1.0
+    python -m repro.cli experiment sodaerr --n 10 --f 2
+    python -m repro.cli experiment atomicity --protocol SODA --executions 3
+
+The CLI is a thin wrapper over :mod:`repro.analysis`; anything it prints can
+also be obtained programmatically (see EXPERIMENTS.md for the mapping to the
+paper's tables and theorems).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import experiments as exp
+from repro.analysis.tables import format_table, generate_table1
+from repro.baselines.registry import available_protocols, make_cluster
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Available protocols:")
+    for name in available_protocols():
+        print(f"  {name}")
+    print("\nExperiments: storage, write-cost, read-cost, latency, sodaerr, "
+          "atomicity, tradeoff (see `experiment -h`)")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    entries = generate_table1(n=args.n, delta=args.delta, seed=args.seed)
+    print(format_table(entries))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.protocol.upper() == "CASGC":
+        kwargs["delta"] = 2
+    if args.protocol.upper() == "SODAERR":
+        kwargs["e"] = 1
+    cluster = make_cluster(args.protocol, args.n, args.f, seed=args.seed, **kwargs)
+    value = args.value.encode()
+    w = cluster.write(value)
+    r = cluster.read()
+    cluster.run()
+    print(f"protocol        : {cluster.protocol_name} (n={args.n}, f={args.f})")
+    print(f"write           : tag={w.tag}, cost={cluster.operation_cost(w.op_id):.3f}, "
+          f"latency={w.duration:.2f}")
+    print(f"read            : value={r.value!r}, cost={cluster.operation_cost(r.op_id):.3f}, "
+          f"latency={r.duration:.2f}")
+    print(f"storage peak    : {cluster.storage_peak():.3f} value units")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name.replace("_", "-")
+    if name == "storage":
+        for p in exp.storage_cost_vs_f(n=args.n, seed=args.seed):
+            print(f"f={p.f}: measured={p.measured:.3f} predicted={p.predicted:.3f}")
+    elif name == "write-cost":
+        for p in exp.write_cost_vs_f(seed=args.seed):
+            print(f"f={p.f} n={p.n}: measured={p.measured:.2f} bound={p.bound:.0f}")
+    elif name == "read-cost":
+        for p in exp.read_cost_vs_concurrency(n=args.n, f=args.f, seed=args.seed):
+            print(
+                f"concurrent={p.concurrent_writes} delta_w={p.measured_delta_w}: "
+                f"cost={p.measured_cost:.2f} bound={p.bound:.2f}"
+            )
+    elif name == "latency":
+        r = exp.latency_experiment(n=args.n, f=args.f, delta=args.delta, seed=args.seed)
+        print(f"max write latency={r.max_write_latency:.2f} (bound {r.write_bound:.2f})")
+        print(f"max read  latency={r.max_read_latency:.2f} (bound {r.read_bound:.2f})")
+    elif name == "sodaerr":
+        for p in exp.sodaerr_experiment(n=args.n, f=args.f, seed=args.seed):
+            print(
+                f"e={p.e}: correct={p.reads_correct} errors={p.errors_injected} "
+                f"storage={p.measured_storage:.3f}/{p.predicted_storage:.3f} "
+                f"read={p.measured_read_cost:.3f}/{p.predicted_read_cost:.3f}"
+            )
+    elif name == "atomicity":
+        r = exp.atomicity_experiment(
+            args.protocol, n=args.n, f=args.f, executions=args.executions, seed=args.seed
+        )
+        print(
+            f"{r.protocol}: {r.linearizable_executions}/{r.executions} executions "
+            f"linearizable, {r.incomplete_operations} incomplete ops, "
+            f"{r.lemma_violations} Lemma 2.1 violations"
+        )
+        return 0 if r.linearizable_executions == r.executions else 1
+    elif name == "tradeoff":
+        for p in exp.tradeoff_experiment(n=args.n, f=args.f, seed=args.seed):
+            print(
+                f"delta={p.delta}: CASGC storage={p.casgc_storage:.2f} "
+                f"read={p.casgc_read_cost:.2f} | SODA storage={p.soda_storage:.2f} "
+                f"read={p.soda_read_cost:.2f}"
+            )
+    else:
+        print(f"unknown experiment {args.name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="soda-repro",
+        description="Reproduction of the SODA storage-optimized atomic register algorithms",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list protocols and experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_table = sub.add_parser("table1", help="regenerate the paper's Table I")
+    p_table.add_argument("--n", type=int, default=6, help="number of servers (even)")
+    p_table.add_argument("--delta", type=int, default=2, help="CASGC concurrency bound")
+    p_table.add_argument("--seed", type=int, default=0)
+    p_table.set_defaults(func=_cmd_table1)
+
+    p_demo = sub.add_parser("demo", help="run a single write/read against a protocol")
+    p_demo.add_argument("--protocol", default="SODA", choices=available_protocols())
+    p_demo.add_argument("--n", type=int, default=5)
+    p_demo.add_argument("--f", type=int, default=2)
+    p_demo.add_argument("--value", default="hello from the SODA reproduction")
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_exp = sub.add_parser("experiment", help="run one of the paper experiments")
+    p_exp.add_argument(
+        "name",
+        help="storage | write-cost | read-cost | latency | sodaerr | atomicity | tradeoff",
+    )
+    p_exp.add_argument("--n", type=int, default=6)
+    p_exp.add_argument("--f", type=int, default=2)
+    p_exp.add_argument("--delta", type=float, default=1.0)
+    p_exp.add_argument("--protocol", default="SODA")
+    p_exp.add_argument("--executions", type=int, default=3)
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

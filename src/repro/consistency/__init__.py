@@ -1,0 +1,29 @@
+"""Operation histories and atomicity (linearizability) checking.
+
+The paper proves that SODA and SODAerr implement an *atomic* multi-writer
+multi-reader register (Theorems 5.2 and 6.2) by exhibiting a partial order
+on operations that satisfies the three properties of Lemma 2.1.  This
+package provides the machinery to *check* those guarantees on simulated
+executions:
+
+* :mod:`repro.consistency.history` records operation invocations/responses
+  together with the (tag, value) pair the protocol associates with them;
+* :mod:`repro.consistency.lemma_check` verifies the Lemma 2.1 properties
+  directly from the recorded tags (the proof technique used in the paper);
+* :mod:`repro.consistency.wgl` is an independent Wing–Gong–Lowe style
+  linearizability checker for read/write registers that only looks at
+  invocation/response times and values — it knows nothing about tags, so it
+  cross-validates the protocol and the tag-based argument.
+"""
+
+from repro.consistency.history import History, OperationRecord
+from repro.consistency.lemma_check import AtomicityViolation, check_lemma_properties
+from repro.consistency.wgl import check_linearizability
+
+__all__ = [
+    "History",
+    "OperationRecord",
+    "AtomicityViolation",
+    "check_lemma_properties",
+    "check_linearizability",
+]

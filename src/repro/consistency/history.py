@@ -1,0 +1,168 @@
+"""Recording of operation histories during simulated executions.
+
+A :class:`History` is the sequence of read/write operations a workload
+performed against a cluster, with their invocation and response times, the
+values written/returned and (when the protocol exposes them) the tags the
+operations were associated with.  Histories are consumed by the
+linearizability checkers and by the latency/cost analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+WRITE = "write"
+READ = "read"
+
+
+@dataclass
+class OperationRecord:
+    """One client operation in an execution.
+
+    Attributes
+    ----------
+    op_id:
+        Unique identifier, also used to attribute communication cost.
+    kind:
+        ``"write"`` or ``"read"``.
+    client:
+        Process id of the invoking client.
+    invoked_at / responded_at:
+        Simulated times of the invocation and response steps; an operation
+        with ``responded_at is None`` is incomplete (its client may have
+        crashed, or the execution was truncated).
+    value:
+        For writes, the value written; for reads, the value returned.
+    tag:
+        The protocol-level tag associated with the operation (write tag or
+        the tag whose elements the read decoded), when available.
+    failed:
+        True if the client crashed before the operation completed.
+    """
+
+    op_id: str
+    kind: str
+    client: str
+    invoked_at: float
+    responded_at: Optional[float] = None
+    value: Optional[bytes] = None
+    tag: Optional[object] = None
+    failed: bool = False
+
+    @property
+    def is_complete(self) -> bool:
+        return self.responded_at is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.responded_at is None:
+            return None
+        return self.responded_at - self.invoked_at
+
+    def precedes(self, other: "OperationRecord") -> bool:
+        """Real-time precedence: this op responded before the other was invoked."""
+        return self.responded_at is not None and self.responded_at < other.invoked_at
+
+    def concurrent_with(self, other: "OperationRecord") -> bool:
+        return not self.precedes(other) and not other.precedes(self)
+
+
+class History:
+    """An append-only log of operations."""
+
+    def __init__(self) -> None:
+        self._ops: Dict[str, OperationRecord] = {}
+        self._order: List[str] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def invoke(
+        self, op_id: str, kind: str, client: str, time: float, value: Optional[bytes] = None
+    ) -> OperationRecord:
+        if op_id in self._ops:
+            raise ValueError(f"duplicate operation id {op_id!r}")
+        if kind not in (WRITE, READ):
+            raise ValueError(f"unknown operation kind {kind!r}")
+        record = OperationRecord(
+            op_id=op_id, kind=kind, client=client, invoked_at=time, value=value
+        )
+        self._ops[op_id] = record
+        self._order.append(op_id)
+        return record
+
+    def respond(
+        self,
+        op_id: str,
+        time: float,
+        *,
+        value: Optional[bytes] = None,
+        tag: Optional[object] = None,
+    ) -> OperationRecord:
+        record = self._ops[op_id]
+        if record.responded_at is not None:
+            raise ValueError(f"operation {op_id!r} already completed")
+        if time < record.invoked_at:
+            raise ValueError("response cannot precede invocation")
+        record.responded_at = time
+        if value is not None:
+            record.value = value
+        if tag is not None:
+            record.tag = tag
+        return record
+
+    def mark_failed(self, op_id: str) -> None:
+        self._ops[op_id].failed = True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return iter(self.operations())
+
+    def get(self, op_id: str) -> OperationRecord:
+        return self._ops[op_id]
+
+    def operations(self) -> List[OperationRecord]:
+        """All operations in invocation order."""
+        return [self._ops[op_id] for op_id in self._order]
+
+    def complete_operations(self) -> List[OperationRecord]:
+        return [op for op in self.operations() if op.is_complete]
+
+    def incomplete_operations(self) -> List[OperationRecord]:
+        return [op for op in self.operations() if not op.is_complete]
+
+    def writes(self) -> List[OperationRecord]:
+        return [op for op in self.operations() if op.kind == WRITE]
+
+    def reads(self) -> List[OperationRecord]:
+        return [op for op in self.operations() if op.kind == READ]
+
+    def concurrency_degree(self, op: OperationRecord, kind: Optional[str] = None) -> int:
+        """Number of other operations (optionally of a given kind) concurrent
+        with ``op`` — used to measure the paper's ``delta_w`` empirically."""
+        count = 0
+        for other in self.operations():
+            if other.op_id == op.op_id:
+                continue
+            if kind is not None and other.kind != kind:
+                continue
+            if op.concurrent_with(other):
+                count += 1
+        return count
+
+    def restricted_to_complete(self) -> "History":
+        """A copy containing only the completed operations (the checkers
+        operate on complete histories, per Lemma 2.1)."""
+        out = History()
+        for op in self.complete_operations():
+            rec = out.invoke(op.op_id, op.kind, op.client, op.invoked_at, value=op.value)
+            rec.responded_at = op.responded_at
+            rec.tag = op.tag
+            rec.failed = op.failed
+        return out

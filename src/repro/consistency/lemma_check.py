@@ -1,0 +1,163 @@
+"""Tag-based atomicity check (Lemma 2.1 of the paper).
+
+The paper proves atomicity of SODA by associating a ``(tag, value)`` pair
+with every completed operation and exhibiting the partial order
+
+    ``pi < phi``  iff  ``tag(pi) < tag(phi)``, or
+                       ``tag(pi) == tag(phi)`` and ``pi`` is a write and
+                       ``phi`` is a read,
+
+then showing the three properties of Lemma 2.1 hold.  This module checks
+those properties directly on a recorded history (whose operations carry the
+tags the protocol assigned), providing a white-box verification that
+mirrors the paper's proof technique.  The black-box Wing–Gong–Lowe checker
+in :mod:`repro.consistency.wgl` complements it without looking at tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.consistency.history import READ, WRITE, History, OperationRecord
+
+
+@dataclass(frozen=True)
+class AtomicityViolation:
+    """A single violated property, with a human-readable explanation."""
+
+    property_name: str
+    description: str
+    op_ids: tuple
+
+    def __str__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"[{self.property_name}] {self.description} (ops: {', '.join(self.op_ids)})"
+
+
+def _precedes_in_partial_order(a: OperationRecord, b: OperationRecord) -> bool:
+    """The paper's partial order ``a < b`` derived from tags."""
+    if a.tag is None or b.tag is None:
+        raise ValueError("operations must carry tags for the Lemma 2.1 check")
+    if a.tag < b.tag:
+        return True
+    if a.tag == b.tag and a.kind == WRITE and b.kind == READ:
+        return True
+    return False
+
+
+def check_lemma_properties(
+    history: History,
+    *,
+    initial_tag: Optional[object] = None,
+    initial_value: bytes = b"",
+) -> List[AtomicityViolation]:
+    """Check properties P1, P2, P3 of Lemma 2.1 on a complete history.
+
+    Parameters
+    ----------
+    history:
+        The recorded execution.  Incomplete operations are ignored (the
+        lemma quantifies over executions in which all invoked operations
+        complete; the black-box checker handles the general case).
+    initial_tag / initial_value:
+        The tag and value of the distinguished initial object state
+        (``t0`` / ``v0`` in the paper).  Reads carrying ``initial_tag``
+        must return ``initial_value``.
+
+    Returns
+    -------
+    list of violations; empty means the execution is atomic per the lemma.
+    """
+    ops = history.complete_operations()
+    missing = [op.op_id for op in ops if op.tag is None]
+    if missing:
+        raise ValueError(
+            f"operations without tags cannot be checked against Lemma 2.1: {missing}"
+        )
+    violations: List[AtomicityViolation] = []
+
+    # P1: the partial order must be consistent with real-time order.
+    for a in ops:
+        for b in ops:
+            if a.op_id == b.op_id or not a.precedes(b):
+                continue
+            if _precedes_in_partial_order(b, a):
+                violations.append(
+                    AtomicityViolation(
+                        "P1",
+                        f"{b.op_id} is ordered before {a.op_id} by tags although "
+                        f"{a.op_id} completed before {b.op_id} was invoked "
+                        f"(tags {b.tag} vs {a.tag})",
+                        (a.op_id, b.op_id),
+                    )
+                )
+
+    # P2: writes are totally ordered with respect to every other operation.
+    writes = [op for op in ops if op.kind == WRITE]
+    seen_tags = {}
+    for w in writes:
+        if w.tag in seen_tags:
+            violations.append(
+                AtomicityViolation(
+                    "P2",
+                    f"writes {seen_tags[w.tag]} and {w.op_id} share tag {w.tag}",
+                    (seen_tags[w.tag], w.op_id),
+                )
+            )
+        else:
+            seen_tags[w.tag] = w.op_id
+    for w in writes:
+        for other in ops:
+            if other.op_id == w.op_id:
+                continue
+            if not (
+                _precedes_in_partial_order(w, other)
+                or _precedes_in_partial_order(other, w)
+            ):
+                violations.append(
+                    AtomicityViolation(
+                        "P2",
+                        f"write {w.op_id} and {other.kind} {other.op_id} are "
+                        f"incomparable (both have tag {w.tag})",
+                        (w.op_id, other.op_id),
+                    )
+                )
+
+    # P3: a read returns the value of the unique write with its tag, or the
+    # initial value if its tag is the initial tag.
+    write_by_tag = {w.tag: w for w in writes}
+    for r in ops:
+        if r.kind != READ:
+            continue
+        if initial_tag is not None and r.tag == initial_tag:
+            if r.value != initial_value:
+                violations.append(
+                    AtomicityViolation(
+                        "P3",
+                        f"read {r.op_id} carries the initial tag but returned "
+                        f"{r.value!r} instead of the initial value",
+                        (r.op_id,),
+                    )
+                )
+            continue
+        writer = write_by_tag.get(r.tag)
+        if writer is None:
+            violations.append(
+                AtomicityViolation(
+                    "P3",
+                    f"read {r.op_id} returned tag {r.tag} that no completed "
+                    f"write produced",
+                    (r.op_id,),
+                )
+            )
+        elif r.value != writer.value:
+            violations.append(
+                AtomicityViolation(
+                    "P3",
+                    f"read {r.op_id} returned {r.value!r} but the write with "
+                    f"tag {r.tag} ({writer.op_id}) wrote {writer.value!r}",
+                    (r.op_id, writer.op_id),
+                )
+            )
+
+    return violations

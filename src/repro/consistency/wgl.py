@@ -1,0 +1,138 @@
+"""Black-box linearizability checking for read/write registers.
+
+This is a Wing–Gong style exhaustive search with the Lowe memoisation
+optimisation, specialised to a single atomic register: the abstract state
+is just the current register value, a write sets it and a read must return
+it.  The checker only looks at invocation/response times and values — it is
+completely independent of the tag machinery used by the protocols and by
+the Lemma 2.1 check, which makes it a strong cross-validation of both.
+
+Scope and assumptions
+---------------------
+* Write values must be pairwise distinct (workloads in this repository
+  guarantee it by embedding a sequence number in each value).  This keeps
+  the search sound when incomplete writes are involved.
+* Incomplete operations: an incomplete *write* whose value was returned by
+  some completed read is treated as pending with an infinite response time
+  (it must be linearised); other incomplete operations are discarded (they
+  are allowed to "not have taken effect").  With distinct write values this
+  preserves both soundness and completeness.
+* Complexity is exponential in the degree of concurrency, which is fine for
+  the workload sizes used in tests and benchmarks (tens of operations,
+  small concurrent windows).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.consistency.history import READ, WRITE, History, OperationRecord
+
+
+@dataclass(frozen=True)
+class _Op:
+    """Internal, immutable view of an operation used by the search."""
+
+    op_id: str
+    kind: str
+    value: Optional[bytes]
+    invoked_at: float
+    responded_at: float  # math.inf for pending-but-required operations
+
+
+class LinearizabilityResult:
+    """Outcome of a check: truthy iff the history is linearizable."""
+
+    def __init__(self, ok: bool, witness: Optional[List[str]] = None, reason: str = "") -> None:
+        self.ok = ok
+        self.witness = witness or []
+        self.reason = reason
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        status = "linearizable" if self.ok else f"NOT linearizable ({self.reason})"
+        return f"LinearizabilityResult({status})"
+
+
+def _prepare_operations(history: History) -> List[_Op]:
+    ops: List[_Op] = []
+    complete = history.complete_operations()
+    observed_values = {
+        op.value for op in complete if op.kind == READ and op.value is not None
+    }
+    write_values = [op.value for op in history.writes()]
+    if len(set(write_values)) != len(write_values):
+        raise ValueError(
+            "the WGL register checker requires pairwise distinct write values"
+        )
+    for op in complete:
+        ops.append(
+            _Op(op.op_id, op.kind, op.value, op.invoked_at, op.responded_at)
+        )
+    for op in history.incomplete_operations():
+        if op.kind == WRITE and op.value in observed_values:
+            # The write took effect (someone read it) even though the writer
+            # never got a response; it must appear in any linearisation.
+            ops.append(_Op(op.op_id, op.kind, op.value, op.invoked_at, math.inf))
+    return ops
+
+
+def check_linearizability(
+    history: History, *, initial_value: bytes = b""
+) -> LinearizabilityResult:
+    """Decide whether ``history`` is linearizable as an atomic register.
+
+    Returns a result object that is truthy iff a valid linearisation
+    exists; on success ``result.witness`` holds one linearisation (a list
+    of operation ids in linearised order).
+    """
+    ops = _prepare_operations(history)
+    if not ops:
+        return LinearizabilityResult(True, witness=[])
+
+    ids = [op.op_id for op in ops]
+    by_id = {op.op_id: op for op in ops}
+    all_ids: FrozenSet[str] = frozenset(ids)
+
+    # memo maps (remaining ops, register value) -> known-failed
+    failed_states: set[Tuple[FrozenSet[str], Optional[bytes]]] = set()
+    witness: List[str] = []
+
+    def minimal_candidates(remaining: FrozenSet[str]) -> List[str]:
+        """Operations that may be linearised first: no other remaining
+        operation responded before they were invoked."""
+        earliest_response = min(by_id[i].responded_at for i in remaining)
+        return [i for i in remaining if by_id[i].invoked_at <= earliest_response]
+
+    def search(remaining: FrozenSet[str], value: Optional[bytes]) -> bool:
+        if not remaining:
+            return True
+        key = (remaining, value)
+        if key in failed_states:
+            return False
+        for op_id in minimal_candidates(remaining):
+            op = by_id[op_id]
+            if op.kind == READ:
+                if op.value != value:
+                    continue
+                next_value = value
+            else:
+                next_value = op.value
+            witness.append(op_id)
+            if search(remaining - {op_id}, next_value):
+                return True
+            witness.pop()
+        failed_states.add(key)
+        return False
+
+    ok = search(all_ids, initial_value)
+    if ok:
+        return LinearizabilityResult(True, witness=list(witness))
+    return LinearizabilityResult(
+        False,
+        reason="no valid linearisation of the recorded operations exists",
+    )

@@ -1,0 +1,245 @@
+"""The message-disperse primitives MD-VALUE and MD-META (Section III).
+
+Both primitives guarantee *uniformity*: if any server delivers the message,
+then every non-faulty server eventually delivers it (its coded element for
+MD-VALUE, the metadata verbatim for MD-META), even if the original sender
+crashes mid-send and up to ``f`` servers crash.
+
+Implementation, following Figs. 1 and 2 of the paper:
+
+* the sender transmits the message to the first ``f + 1`` servers of the
+  (totally ordered) server list, respecting that order;
+* a server ``s_i`` among those first ``f + 1`` servers, upon its *first*
+  receipt of the full message, forwards it to the later servers of the
+  first ``f + 1`` (``s_{i+1} .. s_{f+1}``), sends the derived per-server
+  message to every server outside the first ``f + 1`` (the coded element
+  for MD-VALUE, the metadata itself for MD-META), and finally delivers its
+  own copy locally;
+* a server outside the first ``f + 1`` delivers upon first receipt.
+
+Since at most ``f`` of the first ``f + 1`` servers can crash, at least one
+correct server receives the full message whenever any server does, and that
+server's forwarding reaches every non-faulty server over the reliable
+channels — which is exactly the uniformity argument of Theorem 3.1.
+
+The sender side is :class:`MDSender`; the server side is
+:class:`MDServerEngine`, which a server process instantiates with callbacks
+for the two deliver events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.core.messages import (
+    MDMeta,
+    MDValueCoded,
+    MDValueFull,
+    MessageId,
+)
+from repro.core.tags import Tag
+from repro.erasure.mds import CodedElement, MDSCode
+from repro.sim.process import Process
+
+
+class MDSender:
+    """Sender-side helper: invoke md-value-send / md-meta-send from a process.
+
+    Any process (writer, reader or server) may own one; the SODA writer uses
+    :meth:`md_value_send` for the write-put phase, readers use
+    :meth:`md_meta_send` for READ-VALUE / READ-COMPLETE, and servers use it
+    for READ-DISPERSE.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        servers_in_order: Sequence[str],
+        f: int,
+    ) -> None:
+        if f < 0 or f + 1 > len(servers_in_order):
+            raise ValueError(
+                f"need at least f+1={f + 1} servers, got {len(servers_in_order)}"
+            )
+        self._process = process
+        self._servers = list(servers_in_order)
+        self._f = f
+        self._counter = 0
+
+    @property
+    def dispersal_set(self) -> List[str]:
+        """The first ``f + 1`` servers (the paper's set ``D``)."""
+        return self._servers[: self._f + 1]
+
+    def _next_mid(self) -> MessageId:
+        self._counter += 1
+        return (str(self._process.pid), self._counter)
+
+    def md_value_send(self, tag: Tag, value: bytes, op_id: str) -> MessageId:
+        """Disperse ``(tag, value)`` so every non-faulty server eventually
+        delivers its own coded element (md-value-send in Fig. 1)."""
+        mid = self._next_mid()
+        full = MDValueFull(
+            mid=mid,
+            tag=tag,
+            value=value,
+            origin=str(self._process.pid),
+            op_id=op_id,
+            data_units=1.0,
+        )
+        # Sent in server order, as required by the protocol description.
+        for server in self.dispersal_set:
+            self._process.send(server, full)
+        return mid
+
+    def md_meta_send(self, payload: object, op_id: str) -> MessageId:
+        """Disperse a metadata payload to every non-faulty server."""
+        mid = self._next_mid()
+        meta = MDMeta(
+            mid=mid, payload=payload, origin=str(self._process.pid), op_id=op_id
+        )
+        for server in self.dispersal_set:
+            self._process.send(server, meta)
+        return mid
+
+
+class MDServerEngine:
+    """Server-side state machine of the message-disperse primitives.
+
+    Parameters
+    ----------
+    server:
+        The owning server process (used to send relay messages).
+    server_index:
+        The server's position in the global server order (0-based).
+    servers_in_order:
+        All server pids in the global order.
+    f:
+        Maximum number of server crashes tolerated.
+    code:
+        The MDS code used to derive per-server coded elements for MD-VALUE.
+    on_value_deliver:
+        Callback ``(tag, element, origin, op_id)`` fired exactly once per
+        md-value-send whose message reaches this server.
+    on_meta_deliver:
+        Callback ``(payload, origin, op_id)`` fired exactly once per
+        md-meta-send whose message reaches this server.
+    """
+
+    def __init__(
+        self,
+        server: Process,
+        server_index: int,
+        servers_in_order: Sequence[str],
+        f: int,
+        code: MDSCode,
+        on_value_deliver: Callable[[Tag, CodedElement, str, str], None],
+        on_meta_deliver: Callable[[object, str, str], None],
+    ) -> None:
+        self._server = server
+        self._index = server_index
+        self._servers = list(servers_in_order)
+        self._f = f
+        self._code = code
+        self._on_value_deliver = on_value_deliver
+        self._on_meta_deliver = on_meta_deliver
+        # Per-mid bookkeeping: which mids this server has already forwarded /
+        # delivered, so each invocation is relayed and delivered exactly once.
+        # (Only the small mid tuples are retained — values and coded elements
+        # are dropped as soon as they are delivered, which is the substance of
+        # the paper's no-state-bloat property, Theorem 3.2.)
+        self._value_delivered: Set[MessageId] = set()
+        self._value_forwarded: Set[MessageId] = set()
+        self._meta_delivered: Set[MessageId] = set()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle(self, sender: str, message: object) -> bool:
+        """Process a message if it belongs to a message-disperse protocol.
+
+        Returns True if the message was consumed, False otherwise (so the
+        server can dispatch it to its own protocol handlers).
+        """
+        if isinstance(message, MDValueFull):
+            self._handle_full(message)
+            return True
+        if isinstance(message, MDValueCoded):
+            self._handle_coded(message)
+            return True
+        if isinstance(message, MDMeta):
+            self._handle_meta(message)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # MD-VALUE
+    # ------------------------------------------------------------------
+    def _dispersal_set(self) -> List[str]:
+        return self._servers[: self._f + 1]
+
+    def _handle_full(self, message: MDValueFull) -> None:
+        if message.mid in self._value_forwarded or message.mid in self._value_delivered:
+            return
+        self._value_forwarded.add(message.mid)
+        dispersal = self._dispersal_set()
+        elements = self._code.encode(message.value)
+        # Forward the full message to the later servers of the dispersal set.
+        if self._server.pid in dispersal:
+            my_pos = dispersal.index(self._server.pid)
+            for server in dispersal[my_pos + 1 :]:
+                self._server.send(server, message)
+            # Send coded elements to every server outside the dispersal set.
+            for idx, server in enumerate(self._servers):
+                if server in dispersal:
+                    continue
+                coded = MDValueCoded(
+                    mid=message.mid,
+                    tag=message.tag,
+                    element=elements[idx],
+                    origin=message.origin,
+                    op_id=message.op_id,
+                    data_units=self._code.element_data_units,
+                )
+                self._server.send(server, coded)
+        # Deliver the local coded element.
+        self._deliver_value(message.mid, message.tag, elements[self._index], message)
+
+    def _handle_coded(self, message: MDValueCoded) -> None:
+        self._deliver_value(message.mid, message.tag, message.element, message)
+
+    def _deliver_value(
+        self, mid: MessageId, tag: Tag, element: CodedElement, message
+    ) -> None:
+        if mid in self._value_delivered:
+            return
+        self._value_delivered.add(mid)
+        self._on_value_deliver(tag, element, message.origin, message.op_id)
+
+    # ------------------------------------------------------------------
+    # MD-META
+    # ------------------------------------------------------------------
+    def _handle_meta(self, message: MDMeta) -> None:
+        if message.mid in self._meta_delivered:
+            return
+        self._meta_delivered.add(message.mid)
+        dispersal = self._dispersal_set()
+        if self._server.pid in dispersal:
+            my_pos = dispersal.index(self._server.pid)
+            for server in dispersal[my_pos + 1 :]:
+                self._server.send(server, message)
+            for server in self._servers:
+                if server not in dispersal:
+                    self._server.send(server, message)
+        self._on_meta_deliver(message.payload, message.origin, message.op_id)
+
+    # ------------------------------------------------------------------
+    # introspection (tests)
+    # ------------------------------------------------------------------
+    @property
+    def delivered_value_mids(self) -> Set[MessageId]:
+        return set(self._value_delivered)
+
+    @property
+    def delivered_meta_mids(self) -> Set[MessageId]:
+        return set(self._meta_delivered)

@@ -1,0 +1,16 @@
+"""The SODA algorithm (Section IV of the paper).
+
+* :class:`~repro.core.soda.server.SodaServer` — the server automaton of Fig. 5.
+* :class:`~repro.core.soda.writer.SodaWriter` — the writer protocol of Fig. 3.
+* :class:`~repro.core.soda.reader.SodaReader` — the reader protocol of Fig. 4.
+* :class:`~repro.core.soda.cluster.SodaCluster` — a façade that wires the
+  automata to the simulation substrate, records the operation history and
+  exposes cost/latency metrics.
+"""
+
+from repro.core.soda.cluster import SodaCluster
+from repro.core.soda.reader import SodaReader
+from repro.core.soda.server import SodaServer
+from repro.core.soda.writer import SodaWriter
+
+__all__ = ["SodaCluster", "SodaReader", "SodaServer", "SodaWriter"]

@@ -1,0 +1,288 @@
+"""The SODA server automaton (Fig. 5 of the paper).
+
+Server state (Section IV):
+
+* ``(t, c_s)`` — the locally stored tag and coded element; at most one
+  version is ever stored, which is what gives SODA its ``n/(n-f)`` total
+  storage cost.
+* ``Rc`` — the set of currently registered readers, as pairs
+  ``(read identifier, requested tag)``.
+* ``H`` — a set of ``(tag, server index, read identifier)`` triples
+  tracking which servers sent which coded elements to which readers, used
+  to eventually unregister readers (including failed ones).
+
+The server reacts to five inputs: WRITE-GET and READ-GET queries,
+md-value-deliver (a new write's coded element), and the three MD-META
+payloads READ-VALUE, READ-COMPLETE and READ-DISPERSE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.core.message_disperse import MDSender, MDServerEngine
+from repro.core.messages import (
+    ReadCompletePayload,
+    ReadDispersePayload,
+    ReadGetRequest,
+    ReadGetResponse,
+    ReadValuePayload,
+    ReadValueResponse,
+    WriteAck,
+    WriteGetRequest,
+    WriteGetResponse,
+)
+from repro.core.tags import TAG_ZERO, Tag
+from repro.erasure.mds import CodedElement, MDSCode
+from repro.metrics.costs import StorageTracker
+from repro.sim.failures import DiskErrorModel
+from repro.sim.process import Process
+
+
+@dataclass
+class RegisteredReader:
+    """One entry of the ``Rc`` set."""
+
+    reader_pid: str
+    read_id: str
+    tag: Tag
+
+
+class SodaServer(Process):
+    """A SODA storage server.
+
+    Parameters
+    ----------
+    pid:
+        Process id (e.g. ``"s3"``).
+    index:
+        Position in the global server order; the server stores coded
+        element ``index`` of each value.
+    servers_in_order:
+        All server pids, in the global total order assumed by the paper.
+    f:
+        Crash-fault tolerance the cluster is configured for.
+    code:
+        The ``[n, k]`` MDS code in use.
+    initial_element:
+        The coded element of the initial value ``v0`` stored at start-up.
+    storage_tracker:
+        Optional :class:`~repro.metrics.costs.StorageTracker` notified
+        whenever the amount of locally stored coded data changes.
+    disk_error_model:
+        Model for silent local disk read errors.  Plain SODA uses a
+        disabled model; SODAerr injects errors through it.
+    unregister_threshold:
+        Number of distinct coded elements (for one tag) that must have been
+        sent to a registered reader before the server stops relaying to it
+        (``k`` for SODA, ``k + 2e`` for SODAerr).
+    """
+
+    def __init__(
+        self,
+        pid: str,
+        index: int,
+        servers_in_order: Sequence[str],
+        f: int,
+        code: MDSCode,
+        *,
+        initial_element: Optional[CodedElement] = None,
+        initial_tag: Tag = TAG_ZERO,
+        storage_tracker: Optional[StorageTracker] = None,
+        disk_error_model: Optional[DiskErrorModel] = None,
+        unregister_threshold: Optional[int] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.index = index
+        self.servers_in_order = list(servers_in_order)
+        self.f = f
+        self.code = code
+        self.tag: Tag = initial_tag
+        self.element: Optional[CodedElement] = initial_element
+        self.registered: Dict[str, RegisteredReader] = {}
+        self.history_set: Set[Tuple[Tag, int, str]] = set()
+        self.storage_tracker = storage_tracker
+        self.disk_errors = disk_error_model or DiskErrorModel.disabled()
+        self.unregister_threshold = (
+            unregister_threshold if unregister_threshold is not None else code.k
+        )
+        self._md_engine = MDServerEngine(
+            server=self,
+            server_index=index,
+            servers_in_order=servers_in_order,
+            f=f,
+            code=code,
+            on_value_deliver=self._on_md_value_deliver,
+            on_meta_deliver=self._on_md_meta_deliver,
+        )
+        self._md_sender: Optional[MDSender] = None
+        # Counters exposed for tests and experiments.
+        self.elements_relayed_to_readers = 0
+        self.writes_applied = 0
+        # Registration / unregistration instants per read identifier, used to
+        # measure the paper's delta_w (writes initiated between the first
+        # registration and the last unregistration of a read).
+        self.registration_times: Dict[str, float] = {}
+        self.unregistration_times: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, simulation) -> None:  # noqa: D102 - see Process.attach
+        super().attach(simulation)
+        self._md_sender = MDSender(self, self.servers_in_order, self.f)
+        if self.storage_tracker is not None:
+            self.storage_tracker.update(
+                self.pid, self.stored_data_units, time=0.0
+            )
+
+    @property
+    def md_sender(self) -> MDSender:
+        if self._md_sender is None:
+            raise RuntimeError("server is not attached to a simulation yet")
+        return self._md_sender
+
+    @property
+    def stored_data_units(self) -> float:
+        """Normalized size of the coded data currently stored locally."""
+        return self.code.element_data_units if self.element is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: object) -> None:
+        if self._md_engine.handle(sender, message):
+            return
+        if isinstance(message, WriteGetRequest):
+            self.send(sender, WriteGetResponse(op_id=message.op_id, tag=self.tag))
+        elif isinstance(message, ReadGetRequest):
+            self.send(sender, ReadGetResponse(op_id=message.op_id, tag=self.tag))
+        # Any other message type is not for a SODA server; ignore silently
+        # (the simulator never produces such messages in practice).
+
+    # ------------------------------------------------------------------
+    # md-value-deliver (Fig. 5, response 3)
+    # ------------------------------------------------------------------
+    def _on_md_value_deliver(
+        self, tag: Tag, element: CodedElement, origin: str, op_id: str
+    ) -> None:
+        # Relay the fresh coded element to every registered reader whose
+        # requested tag it satisfies, and let the other servers know via
+        # READ-DISPERSE so they can count towards unregistration.
+        for reg in list(self.registered.values()):
+            if tag >= reg.tag:
+                self._send_element_to_reader(reg, tag, element)
+        # Store the element if it is newer than the local version.
+        if tag > self.tag:
+            self.tag = tag
+            self.element = element
+            self.writes_applied += 1
+            if self.storage_tracker is not None:
+                self.storage_tracker.update(
+                    self.pid, self.stored_data_units, time=self.now
+                )
+        # Acknowledge to the writer.
+        self.send(origin, WriteAck(op_id=op_id, tag=tag, server_index=self.index))
+
+    # ------------------------------------------------------------------
+    # MD-META deliveries (Fig. 5, responses 4-6)
+    # ------------------------------------------------------------------
+    def _on_md_meta_deliver(self, payload: object, origin: str, op_id: str) -> None:
+        if isinstance(payload, ReadValuePayload):
+            self._on_read_value(payload)
+        elif isinstance(payload, ReadCompletePayload):
+            self._on_read_complete(payload)
+        elif isinstance(payload, ReadDispersePayload):
+            self._on_read_disperse(payload)
+
+    def _on_read_value(self, payload: ReadValuePayload) -> None:
+        marker = (TAG_ZERO, self.index, payload.read_id)
+        if marker in self.history_set:
+            # The READ-COMPLETE for this read has already been processed
+            # (it overtook the registration request); do not register.
+            self._drop_history_for(payload.read_id)
+            return
+        reg = RegisteredReader(
+            reader_pid=payload.reader_pid, read_id=payload.read_id, tag=payload.tag
+        )
+        self.registered[payload.read_id] = reg
+        self.registration_times.setdefault(payload.read_id, self.now)
+        if self.element is not None and self.tag >= payload.tag:
+            local_element = self._local_disk_read()
+            self._send_element_to_reader(reg, self.tag, local_element)
+
+    def _on_read_complete(self, payload: ReadCompletePayload) -> None:
+        if payload.read_id in self.registered:
+            del self.registered[payload.read_id]
+            self.unregistration_times[payload.read_id] = self.now
+            self._drop_history_for(payload.read_id)
+        else:
+            # Registration has not arrived yet; leave a marker so that the
+            # late READ-VALUE does not (re-)register the reader.
+            self.history_set.add((TAG_ZERO, self.index, payload.read_id))
+
+    def _on_read_disperse(self, payload: ReadDispersePayload) -> None:
+        self.history_set.add((payload.tag, payload.server_index, payload.read_id))
+        reg = self.registered.get(payload.read_id)
+        if reg is None:
+            return
+        sent_for_tag = {
+            entry
+            for entry in self.history_set
+            if entry[0] == payload.tag and entry[2] == payload.read_id
+        }
+        if len(sent_for_tag) >= self.unregister_threshold:
+            # Enough distinct coded elements of one tag have reached the
+            # reader; it can decode, so stop relaying to it.
+            del self.registered[payload.read_id]
+            self.unregistration_times[payload.read_id] = self.now
+            self._drop_history_for(payload.read_id)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _send_element_to_reader(
+        self, reg: RegisteredReader, tag: Tag, element: CodedElement
+    ) -> None:
+        self.send(
+            reg.reader_pid,
+            ReadValueResponse(
+                op_id=reg.read_id,
+                tag=tag,
+                element=element,
+                server_index=self.index,
+                data_units=self.code.element_data_units,
+            ),
+        )
+        self.elements_relayed_to_readers += 1
+        self.history_set.add((tag, self.index, reg.read_id))
+        self.md_sender.md_meta_send(
+            ReadDispersePayload(tag=tag, server_index=self.index, read_id=reg.read_id),
+            op_id=reg.read_id,
+        )
+
+    def _local_disk_read(self) -> CodedElement:
+        """Fetch the locally stored coded element from "disk".
+
+        This is the only place where SODAerr's silent read errors can
+        occur; relayed elements from concurrent writes never touch the
+        local disk (Section VI).
+        """
+        assert self.element is not None
+        data = self.disk_errors.read(self.pid, self.element.data)
+        return CodedElement(index=self.element.index, data=data)
+
+    def _drop_history_for(self, read_id: str) -> None:
+        self.history_set = {e for e in self.history_set if e[2] != read_id}
+
+    # ------------------------------------------------------------------
+    # introspection for tests and experiments
+    # ------------------------------------------------------------------
+    @property
+    def registered_readers(self) -> Dict[str, RegisteredReader]:
+        return dict(self.registered)
+
+    @property
+    def history_entries(self) -> Set[Tuple[Tag, int, str]]:
+        return set(self.history_set)

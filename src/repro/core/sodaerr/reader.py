@@ -1,0 +1,44 @@
+"""The SODAerr reader (Fig. 6, reader side).
+
+Identical to the SODA reader except that it waits for ``k + 2e`` coded
+elements of one tag and decodes with the errors-and-erasures decoder, which
+tolerates up to ``e`` silently corrupted elements among them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.consistency.history import History
+from repro.core.soda.reader import SodaReader
+from repro.erasure.mds import CodedElement, MDSCode
+
+
+class SodaErrReader(SodaReader):
+    """A SODAerr read client tolerating up to ``e`` erroneous elements."""
+
+    def __init__(
+        self,
+        pid: str,
+        servers_in_order: Sequence[str],
+        f: int,
+        code: MDSCode,
+        e: int,
+        history: Optional[History] = None,
+    ) -> None:
+        if e < 0:
+            raise ValueError("e must be non-negative")
+        super().__init__(
+            pid,
+            servers_in_order,
+            f,
+            code,
+            history,
+            decode_threshold=code.k + 2 * e,
+        )
+        self.e = e
+
+    def _decode(self, elements: List[CodedElement]) -> bytes:
+        """``Phi^-1_err``: decode from ``k + 2e`` elements, up to ``e`` of
+        which may be corrupted."""
+        return self.code.decode_with_errors(elements, max_errors=self.e)

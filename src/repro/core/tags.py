@@ -1,0 +1,58 @@
+"""Version tags.
+
+A tag is a pair ``(z, writer_id)`` where ``z`` is an integer sequence
+number and ``writer_id`` identifies the writer that created the version
+(Section IV).  Tags are totally ordered: first by ``z``, then by writer id;
+because writer ids are unique, two distinct write operations always obtain
+distinct, comparable tags.
+
+Tags are metadata — they contribute nothing to storage or communication
+cost (Section II-h).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Tag:
+    """A version identifier ``(z, writer_id)``."""
+
+    z: int
+    writer_id: str
+
+    def __post_init__(self) -> None:
+        if self.z < 0:
+            raise ValueError("tag sequence number must be non-negative")
+
+    def next_for(self, writer_id: str) -> "Tag":
+        """The tag a writer creates after observing this one as the maximum
+        (``(z + 1, w)`` in the write-put phase of Fig. 3)."""
+        return Tag(self.z + 1, writer_id)
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Tag):
+            return NotImplemented
+        return (self.z, self.writer_id) < (other.z, other.writer_id)
+
+    def __repr__(self) -> str:
+        return f"Tag(z={self.z}, w={self.writer_id!r})"
+
+
+#: The distinguished initial tag ``t0`` associated with the initial value ``v0``.
+TAG_ZERO = Tag(0, "")
+
+
+def max_tag(tags) -> Tag:
+    """The maximum of a non-empty collection of tags."""
+    tags = list(tags)
+    if not tags:
+        raise ValueError("max_tag requires at least one tag")
+    result = tags[0]
+    for t in tags[1:]:
+        if t > result:
+            result = t
+    return result

@@ -1,0 +1,45 @@
+"""Erasure-coding substrate for the SODA reproduction.
+
+The SODA and SODAerr algorithms (Konwar et al., IPDPS 2016) rely on an
+``[n, k]`` Maximum Distance Separable (MDS) code: a value of one unit is
+split into ``k`` elements, expanded into ``n`` coded elements of size
+``1/k`` each, such that
+
+* any ``k`` coded elements suffice to reconstruct the value (erasure-only
+  decoding, used by SODA), and
+* any ``k + 2e`` coded elements of which at most ``e`` are silently
+  corrupted suffice to reconstruct the value (errors-and-erasures decoding,
+  used by SODAerr).
+
+This package implements everything needed from scratch:
+
+* :mod:`repro.erasure.gf` — arithmetic in GF(2^8).
+* :mod:`repro.erasure.poly` — polynomials over GF(2^8).
+* :mod:`repro.erasure.matrix` — matrices over GF(2^8) (inversion, solving).
+* :mod:`repro.erasure.rs` — a classical Reed–Solomon codec with systematic
+  encoding, erasure decoding from any ``k`` symbols and Berlekamp–Massey /
+  Forney errors-and-erasures decoding.
+* :mod:`repro.erasure.vandermonde` — an alternative matrix-based MDS
+  backend (systematic Vandermonde generator matrix), used to cross-check
+  the Reed–Solomon implementation and as a simple erasure-only code.
+* :mod:`repro.erasure.mds` — the :class:`~repro.erasure.mds.MDSCode`
+  interface shared by all protocol implementations.
+* :mod:`repro.erasure.replication` — the trivial ``[n, 1]`` replication
+  "code" used by the ABD baseline.
+"""
+
+from repro.erasure.gf import GF256
+from repro.erasure.mds import CodedElement, MDSCode, DecodingError
+from repro.erasure.rs import ReedSolomonCode
+from repro.erasure.vandermonde import VandermondeCode
+from repro.erasure.replication import ReplicationCode
+
+__all__ = [
+    "GF256",
+    "CodedElement",
+    "MDSCode",
+    "DecodingError",
+    "ReedSolomonCode",
+    "VandermondeCode",
+    "ReplicationCode",
+]

@@ -1,0 +1,218 @@
+"""Arithmetic in the finite field GF(2^8).
+
+The Reed–Solomon codes used throughout this reproduction operate symbol-wise
+over GF(2^8) with the AES/Rijndael reduction polynomial
+``x^8 + x^4 + x^3 + x + 1`` (0x11B).  The field is small enough that full
+exponential/logarithm tables make every operation a table lookup, and numpy
+vectorised variants are provided for bulk (per-byte-column) encoding and
+decoding, which is where virtually all of the CPU time goes.
+
+Only one field size is needed by the paper (values are byte strings and each
+coded element is a byte string), but the implementation is written against an
+explicit primitive polynomial so alternative polynomials can be used in
+tests.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+import numpy as np
+
+# Default primitive polynomial for GF(2^8): x^8 + x^4 + x^3 + x + 1.
+DEFAULT_PRIMITIVE_POLY = 0x11B
+#: The generator element used to build the exp/log tables.
+DEFAULT_GENERATOR = 0x03
+
+FIELD_SIZE = 256
+ORDER = FIELD_SIZE - 1  # multiplicative group order
+
+
+class GF256:
+    """The finite field GF(2^8).
+
+    Parameters
+    ----------
+    primitive_poly:
+        Reduction polynomial (degree 8, expressed as an integer bit mask).
+    generator:
+        A primitive element; powers of it enumerate all non-zero field
+        elements and define the exp/log tables.
+
+    Notes
+    -----
+    Elements are plain Python ints (or numpy uint8 arrays for the
+    vectorised operations) in ``range(256)``.  Addition and subtraction are
+    both XOR.
+    """
+
+    __slots__ = ("primitive_poly", "generator", "exp", "log", "_inv")
+
+    def __init__(
+        self,
+        primitive_poly: int = DEFAULT_PRIMITIVE_POLY,
+        generator: int = DEFAULT_GENERATOR,
+    ) -> None:
+        if primitive_poly >> 8 != 1:
+            raise ValueError(
+                f"primitive polynomial must have degree 8, got {primitive_poly:#x}"
+            )
+        self.primitive_poly = primitive_poly
+        self.generator = generator
+        exp = np.zeros(2 * ORDER, dtype=np.uint8)
+        log = np.zeros(FIELD_SIZE, dtype=np.int64)
+        x = 1
+        seen: set[int] = set()
+        for i in range(ORDER):
+            exp[i] = x
+            log[x] = i
+            seen.add(x)
+            x = self._slow_mul(x, generator)
+        if x != 1 or len(seen) != ORDER:
+            raise ValueError(
+                f"{generator:#x} is not a primitive element for polynomial "
+                f"{primitive_poly:#x}"
+            )
+        # Duplicate the table so exp[a + b] never needs a modulo for a, b < ORDER.
+        exp[ORDER:] = exp[:ORDER]
+        self.exp = exp
+        self.log = log
+        inv = np.zeros(FIELD_SIZE, dtype=np.uint8)
+        for a in range(1, FIELD_SIZE):
+            inv[a] = exp[ORDER - log[a]]
+        self._inv = inv
+
+    # ------------------------------------------------------------------
+    # scalar operations
+    # ------------------------------------------------------------------
+    def _slow_mul(self, a: int, b: int) -> int:
+        """Carry-less multiplication with reduction; used only to build tables."""
+        result = 0
+        while b:
+            if b & 1:
+                result ^= a
+            b >>= 1
+            a <<= 1
+            if a & 0x100:
+                a ^= self.primitive_poly
+        return result
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        return a ^ b
+
+    @staticmethod
+    def sub(a: int, b: int) -> int:
+        """Field subtraction (identical to addition in characteristic 2)."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via exp/log tables."""
+        if a == 0 or b == 0:
+            return 0
+        return int(self.exp[int(self.log[a]) + int(self.log[b])])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``; raises ``ZeroDivisionError`` if b == 0."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^8)")
+        if a == 0:
+            return 0
+        return int(self.exp[(int(self.log[a]) - int(self.log[b])) % ORDER])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse of ``a``; raises ``ZeroDivisionError`` for 0."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse in GF(2^8)")
+        return int(self._inv[a])
+
+    def pow(self, a: int, exponent: int) -> int:
+        """``a`` raised to an arbitrary (possibly negative) integer power."""
+        if a == 0:
+            if exponent == 0:
+                return 1
+            if exponent < 0:
+                raise ZeroDivisionError("0 cannot be raised to a negative power")
+            return 0
+        e = (int(self.log[a]) * exponent) % ORDER
+        return int(self.exp[e])
+
+    def alpha_pow(self, exponent: int) -> int:
+        """The generator raised to ``exponent`` (mod the group order)."""
+        return int(self.exp[exponent % ORDER])
+
+    # ------------------------------------------------------------------
+    # vectorised operations on numpy uint8 arrays
+    # ------------------------------------------------------------------
+    def mul_vec(self, a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
+        """Element-wise product of two uint8 arrays (or array and scalar)."""
+        a = np.asarray(a, dtype=np.uint8)
+        b_arr = np.asarray(b, dtype=np.uint8)
+        a_b, b_b = np.broadcast_arrays(a, b_arr)
+        out = np.zeros(a_b.shape, dtype=np.uint8)
+        nz = (a_b != 0) & (b_b != 0)
+        if np.any(nz):
+            idx = self.log[a_b[nz]] + self.log[b_b[nz]]
+            out[nz] = self.exp[idx]
+        return out
+
+    def scale_vec(self, a: np.ndarray, scalar: int) -> np.ndarray:
+        """Multiply every element of ``a`` by a scalar."""
+        if scalar == 0:
+            return np.zeros_like(np.asarray(a, dtype=np.uint8))
+        a = np.asarray(a, dtype=np.uint8)
+        out = np.zeros_like(a)
+        nz = a != 0
+        if np.any(nz):
+            out[nz] = self.exp[self.log[a[nz]] + int(self.log[scalar])]
+        return out
+
+    def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Matrix product over GF(2^8).
+
+        ``A`` has shape ``(m, p)`` and ``B`` shape ``(p, q)``; the result has
+        shape ``(m, q)``.  The inner accumulation is XOR.
+        """
+        A = np.asarray(A, dtype=np.uint8)
+        B = np.asarray(B, dtype=np.uint8)
+        if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+            raise ValueError(f"incompatible shapes {A.shape} x {B.shape}")
+        m, p = A.shape
+        q = B.shape[1]
+        out = np.zeros((m, q), dtype=np.uint8)
+        # Accumulate row-by-row of the inner dimension: for typical code
+        # parameters p = k <= n <= 255 this loop is short while the work per
+        # iteration is fully vectorised over the (usually long) value axis.
+        for j in range(p):
+            col = A[:, j]  # shape (m,)
+            row = B[j, :]  # shape (q,)
+            prod = self.mul_vec(col[:, None], row[None, :])
+            out ^= prod
+        return out
+
+    # ------------------------------------------------------------------
+    # misc helpers
+    # ------------------------------------------------------------------
+    def dot(self, xs: Sequence[int], ys: Sequence[int]) -> int:
+        """Inner product of two equal-length scalar sequences."""
+        if len(xs) != len(ys):
+            raise ValueError("dot product requires equal-length sequences")
+        acc = 0
+        for x, y in zip(xs, ys):
+            acc ^= self.mul(x, y)
+        return acc
+
+    def elements(self) -> Iterable[int]:
+        """Iterate over every field element (0..255)."""
+        return range(FIELD_SIZE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"GF256(primitive_poly={self.primitive_poly:#x}, generator={self.generator:#x})"
+
+
+@lru_cache(maxsize=None)
+def default_field() -> GF256:
+    """A process-wide shared GF(2^8) instance with the default polynomial."""
+    return GF256()

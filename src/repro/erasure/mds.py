@@ -1,0 +1,182 @@
+"""The MDS code interface shared by every protocol in this reproduction.
+
+An ``[n, k]`` MDS code splits a value of (normalized) size 1 into ``k``
+elements and produces ``n`` coded elements of size ``1/k`` each, such that
+any ``k`` of them suffice to reconstruct the value (Section II-g of the
+paper).  The SODAerr variant additionally requires decoding from ``k + 2e``
+elements of which up to ``e`` are silently corrupted (Section VI).
+
+Values are arbitrary byte strings.  Concrete codes share a common framing:
+the value is prefixed with a 4-byte big-endian length header and
+zero-padded so it splits evenly into ``k`` rows; each coded element is one
+row of the encoded matrix.  The header lets ``decode`` recover the exact
+original bytes regardless of padding.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+_LENGTH_HEADER = struct.Struct(">I")
+
+
+class DecodingError(ValueError):
+    """Raised when a value cannot be reconstructed from the given elements."""
+
+
+@dataclass(frozen=True)
+class CodedElement:
+    """A single coded element: the ``index``-th symbol of the codeword.
+
+    ``index`` identifies which server the element is destined for / came
+    from (0-based), which the decoder needs to know (the paper assumes the
+    decoder is "aware of the index set I", Section II-g).
+    """
+
+    index: int
+    data: bytes
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class MDSCode(ABC):
+    """Abstract ``[n, k]`` MDS code over byte-string values."""
+
+    def __init__(self, n: int, k: int) -> None:
+        if not (1 <= k <= n):
+            raise ValueError(f"require 1 <= k <= n, got n={n}, k={k}")
+        self._n = n
+        self._k = k
+
+    # ------------------------------------------------------------------
+    # parameters
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Code length: number of coded elements / servers."""
+        return self._n
+
+    @property
+    def k(self) -> int:
+        """Code dimension: number of elements needed to reconstruct."""
+        return self._k
+
+    @property
+    def storage_overhead(self) -> float:
+        """Total storage cost in value units when each server stores one element."""
+        return self._n / self._k
+
+    @property
+    def element_data_units(self) -> float:
+        """Normalized size of one coded element (the paper's ``1/k`` units)."""
+        return 1.0 / self._k
+
+    def max_erasures(self) -> int:
+        """Erasure-only fault tolerance ``n - k``."""
+        return self._n - self._k
+
+    # ------------------------------------------------------------------
+    # framing helpers shared by the concrete codes
+    # ------------------------------------------------------------------
+    def _frame(self, value: bytes) -> np.ndarray:
+        """Prefix with a length header, pad, and reshape to ``(k, stripe)``."""
+        framed = _LENGTH_HEADER.pack(len(value)) + value
+        stripe = -(-len(framed) // self._k)  # ceil division
+        stripe = max(stripe, 1)
+        padded = framed + b"\x00" * (self._k * stripe - len(framed))
+        return np.frombuffer(padded, dtype=np.uint8).reshape(self._k, stripe)
+
+    @staticmethod
+    def _unframe(rows: np.ndarray) -> bytes:
+        """Inverse of :meth:`_frame`: strip padding using the length header."""
+        flat = rows.astype(np.uint8, copy=False).tobytes()
+        if len(flat) < _LENGTH_HEADER.size:
+            raise DecodingError("decoded data shorter than the length header")
+        (length,) = _LENGTH_HEADER.unpack_from(flat)
+        payload = flat[_LENGTH_HEADER.size : _LENGTH_HEADER.size + length]
+        if len(payload) != length:
+            raise DecodingError(
+                f"decoded data truncated: header says {length} bytes, got {len(payload)}"
+            )
+        return payload
+
+    @staticmethod
+    def _collect(elements: Iterable[CodedElement]) -> Dict[int, bytes]:
+        """Normalise an element collection to an index -> data mapping.
+
+        Duplicate indices must agree; conflicting duplicates raise
+        :class:`DecodingError` (they indicate a protocol bug upstream).
+        """
+        out: Dict[int, bytes] = {}
+        for el in elements:
+            if el.index in out and out[el.index] != el.data:
+                raise DecodingError(
+                    f"conflicting data supplied for coded element {el.index}"
+                )
+            out[el.index] = el.data
+        return out
+
+    # ------------------------------------------------------------------
+    # abstract API
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def encode(self, value: bytes) -> List[CodedElement]:
+        """Encode ``value`` into ``n`` coded elements (Phi in the paper)."""
+
+    @abstractmethod
+    def decode(self, elements: Iterable[CodedElement]) -> bytes:
+        """Reconstruct the value from at least ``k`` correct elements (Phi^-1)."""
+
+    @abstractmethod
+    def decode_with_errors(
+        self, elements: Iterable[CodedElement], max_errors: int
+    ) -> bytes:
+        """Reconstruct from ``>= k + 2*max_errors`` elements, up to
+        ``max_errors`` of which may be silently corrupted (Phi^-1_err)."""
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def encode_map(self, value: bytes) -> Dict[int, CodedElement]:
+        """Encode and return a ``server index -> element`` mapping."""
+        return {el.index: el for el in self.encode(value)}
+
+    def project(self, value: bytes, index: int) -> CodedElement:
+        """The single coded element destined for ``index`` (Phi_i in the paper)."""
+        if not 0 <= index < self._n:
+            raise ValueError(f"element index {index} out of range [0, {self._n})")
+        return self.encode(value)[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(n={self._n}, k={self._k})"
+
+
+def as_elements(mapping: Mapping[int, bytes]) -> List[CodedElement]:
+    """Convert an ``index -> data`` mapping into a list of coded elements."""
+    return [CodedElement(index=i, data=d) for i, d in mapping.items()]
+
+
+def corrupt(element: CodedElement, xor_mask: int = 0xA5) -> CodedElement:
+    """Return a corrupted copy of an element (used by tests and the
+    SODAerr disk-error injector).  The corruption is guaranteed to change
+    the data (an all-zero mask is rejected)."""
+    if xor_mask == 0:
+        raise ValueError("xor_mask must be non-zero to actually corrupt data")
+    data = bytes(b ^ xor_mask for b in element.data)
+    if not data:
+        data = bytes([xor_mask & 0xFF])
+    return CodedElement(index=element.index, data=data)
+
+
+def elements_subset(
+    elements: Sequence[CodedElement], indices: Iterable[int]
+) -> List[CodedElement]:
+    """Select the elements whose index is in ``indices`` (order preserved)."""
+    wanted = set(indices)
+    return [el for el in elements if el.index in wanted]

@@ -1,0 +1,134 @@
+"""Matrix-based MDS code with a systematic Vandermonde generator matrix.
+
+This backend implements the same :class:`~repro.erasure.mds.MDSCode`
+interface as :class:`~repro.erasure.rs.ReedSolomonCode` but performs all
+decoding by linear algebra over GF(2^8):
+
+* erasure-only decoding solves a ``k x k`` system for any ``k`` available
+  elements (exactly like the Reed–Solomon fast path);
+* errors-and-erasures decoding uses a combinatorial decode-and-verify
+  strategy: decode from a candidate ``k``-subset, re-encode, and accept the
+  candidate iff it agrees with at least ``|available| - e`` of the available
+  elements.  For an MDS code this threshold uniquely identifies the true
+  value when at most ``e`` elements are corrupted.
+
+The combinatorial decoder is exponential in ``e`` in the worst case, but
+``e`` is a small constant in the SODAerr setting (the paper's motivating
+example uses one or two error-prone disks); it mainly serves as an
+independent cross-check of the algebraic Reed–Solomon decoder in the
+property-based tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.erasure.gf import GF256, default_field
+from repro.erasure.matrix import gauss_jordan_invert, systematic_generator
+from repro.erasure.mds import CodedElement, DecodingError, MDSCode
+
+
+class VandermondeCode(MDSCode):
+    """A systematic ``[n, k]`` MDS code built from a Vandermonde matrix."""
+
+    def __init__(self, n: int, k: int, field: GF256 | None = None) -> None:
+        super().__init__(n, k)
+        if n > 255:
+            raise ValueError(f"GF(2^8) Vandermonde codes support n <= 255, got {n}")
+        self.field = field or default_field()
+        # (k x n) generator; transpose gives the (n x k) encode matrix.
+        self._generator = systematic_generator(self.field, n, k)
+        self._encode_matrix = self._generator.T.copy()
+        self._decode_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # encoding / erasure decoding
+    # ------------------------------------------------------------------
+    def encode(self, value: bytes) -> List[CodedElement]:
+        message = self._frame(value)
+        codeword = self.field.matmul(self._encode_matrix, message)
+        return [
+            CodedElement(index=i, data=codeword[i].tobytes()) for i in range(self.n)
+        ]
+
+    def decode(self, elements: Iterable[CodedElement]) -> bytes:
+        available = self._collect(elements)
+        if len(available) < self.k:
+            raise DecodingError(
+                f"need at least k={self.k} coded elements, got {len(available)}"
+            )
+        indices = tuple(sorted(available))[: self.k]
+        rows = self._rows_for(available, indices)
+        inverse = self._decode_matrix(indices)
+        message = self.field.matmul(inverse, rows)
+        return self._unframe(message)
+
+    def _decode_matrix(self, indices: Tuple[int, ...]) -> np.ndarray:
+        cached = self._decode_cache.get(indices)
+        if cached is None:
+            sub = self._encode_matrix[list(indices), :]
+            cached = gauss_jordan_invert(self.field, sub)
+            self._decode_cache[indices] = cached
+        return cached
+
+    def _rows_for(
+        self, available: Dict[int, bytes], indices: Tuple[int, ...]
+    ) -> np.ndarray:
+        sizes = {len(d) for d in available.values()}
+        if len(sizes) != 1:
+            raise DecodingError(f"coded elements have inconsistent sizes: {sizes}")
+        stripe = sizes.pop()
+        rows = np.zeros((len(indices), stripe), dtype=np.uint8)
+        for r, idx in enumerate(indices):
+            rows[r] = np.frombuffer(available[idx], dtype=np.uint8)
+        return rows
+
+    # ------------------------------------------------------------------
+    # errors-and-erasures decoding (combinatorial decode-and-verify)
+    # ------------------------------------------------------------------
+    def decode_with_errors(
+        self, elements: Iterable[CodedElement], max_errors: int
+    ) -> bytes:
+        if max_errors < 0:
+            raise ValueError("max_errors must be non-negative")
+        available = self._collect(elements)
+        if len(available) < self.k + 2 * max_errors:
+            raise DecodingError(
+                f"need at least k + 2e = {self.k + 2 * max_errors} elements, "
+                f"got {len(available)}"
+            )
+        if max_errors == 0:
+            return self.decode([CodedElement(i, d) for i, d in available.items()])
+        bad = [i for i in available if not 0 <= i < self.n]
+        if bad:
+            raise DecodingError(f"element indices out of range [0, {self.n}): {bad}")
+
+        indices = sorted(available)
+        threshold = len(indices) - max_errors
+        for subset in combinations(indices, self.k):
+            candidate_rows = self._rows_for(available, subset)
+            inverse = self._decode_matrix(tuple(subset))
+            message = self.field.matmul(inverse, candidate_rows)
+            codeword = self.field.matmul(self._encode_matrix, message)
+            agreements = sum(
+                1
+                for idx in indices
+                if codeword[idx].tobytes() == available[idx]
+            )
+            if agreements >= threshold:
+                return self._unframe(message)
+        raise DecodingError(
+            f"no candidate decoding agrees with at least {threshold} of the "
+            f"{len(indices)} supplied elements (more than {max_errors} errors?)"
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def generator_matrix(self) -> np.ndarray:
+        """The ``k x n`` systematic generator matrix."""
+        return self._generator.copy()

@@ -1,0 +1,21 @@
+"""Cost and latency accounting (Sections II-h and V-C of the paper).
+
+* :class:`~repro.metrics.costs.CommunicationCostTracker` attributes the
+  ``data_units`` of every message to the client operation on whose behalf it
+  was sent, yielding per-operation read/write communication costs.
+* :class:`~repro.metrics.costs.StorageTracker` maintains the running total
+  of coded data stored across all servers and its maximum over the
+  execution (the paper's *worst-case total storage cost*).
+* :class:`~repro.metrics.latency.LatencyTracker` summarises operation
+  durations, used to check the ``5 delta`` / ``6 delta`` latency bounds.
+"""
+
+from repro.metrics.costs import CommunicationCostTracker, StorageTracker
+from repro.metrics.latency import LatencyStats, LatencyTracker
+
+__all__ = [
+    "CommunicationCostTracker",
+    "StorageTracker",
+    "LatencyStats",
+    "LatencyTracker",
+]

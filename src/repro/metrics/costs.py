@@ -1,0 +1,100 @@
+"""Communication and storage cost accounting.
+
+The paper normalizes every cost to the size of the stored value: a full
+value is 1 unit, a coded element of an ``[n, k]`` code is ``1/k`` units and
+metadata is free (Section II-h).  Protocol messages expose their size via a
+``data_units`` attribute and the client operation they serve via ``op_id``;
+the trackers below simply aggregate those attributes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from repro.sim.network import MessageRecord, Network
+
+
+class CommunicationCostTracker:
+    """Attributes message payload sizes to client operations.
+
+    Attach to a network with :meth:`attach`; afterwards
+    :meth:`cost_of` returns the total data units sent on behalf of an
+    operation (by any process — client, server relays, primitive traffic).
+    """
+
+    def __init__(self) -> None:
+        self._per_op: Dict[Hashable, float] = defaultdict(float)
+        self._messages_per_op: Dict[Hashable, int] = defaultdict(int)
+        self.total_data_units = 0.0
+        self.unattributed_data_units = 0.0
+
+    def attach(self, network: Network) -> "CommunicationCostTracker":
+        network.on_send(self.record)
+        return self
+
+    def record(self, record: MessageRecord) -> None:
+        units = record.data_units
+        self.total_data_units += units
+        op = record.op_id
+        if op is None:
+            self.unattributed_data_units += units
+            return
+        self._per_op[op] += units
+        self._messages_per_op[op] += 1
+
+    def cost_of(self, op_id: Hashable) -> float:
+        """Total data units transmitted on behalf of ``op_id``."""
+        return self._per_op.get(op_id, 0.0)
+
+    def messages_of(self, op_id: Hashable) -> int:
+        """Number of messages (including metadata) attributed to ``op_id``."""
+        return self._messages_per_op.get(op_id, 0)
+
+    def costs(self) -> Dict[Hashable, float]:
+        return dict(self._per_op)
+
+
+@dataclass
+class StorageSample:
+    """Total stored data units observed at a point in simulated time."""
+
+    time: float
+    total_units: float
+
+
+class StorageTracker:
+    """Tracks the total coded data stored across servers over time.
+
+    Servers call :meth:`update` whenever the amount of coded data they hold
+    changes (storing a new element, garbage-collecting old versions, ...).
+    The tracker maintains the current total and the running maximum — the
+    paper's worst-case total storage cost.
+    """
+
+    def __init__(self) -> None:
+        self._per_server: Dict[Hashable, float] = {}
+        self.max_total_units = 0.0
+        self.samples: List[StorageSample] = []
+
+    def update(self, server_id: Hashable, data_units: float, *, time: float = 0.0) -> None:
+        """Record that ``server_id`` currently stores ``data_units`` of data."""
+        if data_units < 0:
+            raise ValueError("stored data cannot be negative")
+        self._per_server[server_id] = data_units
+        total = self.current_total
+        if total > self.max_total_units:
+            self.max_total_units = total
+        self.samples.append(StorageSample(time=time, total_units=total))
+
+    @property
+    def current_total(self) -> float:
+        return sum(self._per_server.values())
+
+    def per_server(self) -> Dict[Hashable, float]:
+        return dict(self._per_server)
+
+    def peak(self) -> float:
+        """The worst-case total storage cost observed so far."""
+        return self.max_total_units

@@ -1,0 +1,69 @@
+"""Operation latency accounting (Section V-C).
+
+The paper bounds the duration of a successful SODA write by ``5 * delta``
+and of a read by ``6 * delta`` when every message is delivered within
+``delta`` time units.  :class:`LatencyTracker` collects operation durations
+from the recorded history and reports the summary statistics compared in
+experiment E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a set of operation durations."""
+
+    count: int
+    min: float
+    max: float
+    mean: float
+
+    @staticmethod
+    def empty() -> "LatencyStats":
+        return LatencyStats(count=0, min=0.0, max=0.0, mean=0.0)
+
+
+class LatencyTracker:
+    """Aggregates operation durations, optionally split by operation kind."""
+
+    def __init__(self) -> None:
+        self._durations: dict[str, List[float]] = {}
+
+    def record(self, kind: str, duration: float) -> None:
+        if duration < 0:
+            raise ValueError("duration cannot be negative")
+        self._durations.setdefault(kind, []).append(duration)
+
+    def record_operations(self, operations: Iterable) -> None:
+        """Record every completed operation from a history.
+
+        Accepts any iterable of objects exposing ``kind``, ``invoked_at``
+        and ``responded_at`` attributes (see
+        :class:`repro.consistency.history.OperationRecord`).
+        """
+        for op in operations:
+            if getattr(op, "responded_at", None) is None:
+                continue
+            self.record(op.kind, op.responded_at - op.invoked_at)
+
+    def stats(self, kind: Optional[str] = None) -> LatencyStats:
+        if kind is None:
+            durations = [d for ds in self._durations.values() for d in ds]
+        else:
+            durations = self._durations.get(kind, [])
+        if not durations:
+            return LatencyStats.empty()
+        return LatencyStats(
+            count=len(durations),
+            min=min(durations),
+            max=max(durations),
+            mean=mean(durations),
+        )
+
+    def kinds(self) -> List[str]:
+        return sorted(self._durations)

@@ -1,0 +1,14 @@
+"""Shared runtime glue between protocols and the simulation substrate.
+
+:class:`~repro.runtime.cluster.RegisterCluster` is the façade every
+protocol implementation (SODA, SODAerr, ABD, CAS, CASGC) exposes: it wires
+servers and clients to a :class:`~repro.sim.simulation.Simulation`, records
+the operation history and the cost/latency metrics, and offers both
+blocking (``write`` / ``read``) and scheduled (``schedule_write`` /
+``schedule_read``) operation APIs used by the examples, workloads and
+benchmarks.
+"""
+
+from repro.runtime.cluster import RegisterCluster, ScheduledOperation
+
+__all__ = ["RegisterCluster", "ScheduledOperation"]

@@ -1,0 +1,291 @@
+"""The protocol-independent cluster façade.
+
+Every atomic-register protocol in this repository (SODA, SODAerr, ABD, CAS,
+CASGC) is exposed through a subclass of :class:`RegisterCluster`.  The
+façade owns:
+
+* the discrete-event :class:`~repro.sim.simulation.Simulation` (seeded, so
+  every experiment is reproducible),
+* the server, writer and reader processes,
+* the :class:`~repro.consistency.history.History` of client operations,
+* the communication-cost, storage-cost and latency trackers, and
+* failure injection (server/client crash schedules).
+
+Protocol subclasses provide the erasure code and the concrete process
+classes; everything else (blocking operations, scheduled concurrent
+operations, metrics accessors) is shared, which keeps the comparison
+experiments of Table I apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.consistency.history import History, OperationRecord
+from repro.erasure.mds import CodedElement, MDSCode
+from repro.metrics.costs import CommunicationCostTracker, StorageTracker
+from repro.metrics.latency import LatencyTracker
+from repro.sim.failures import CrashSchedule, FailureInjector
+from repro.sim.network import DelayModel
+from repro.sim.process import Process
+from repro.sim.simulation import Simulation
+
+
+@dataclass
+class ScheduledOperation:
+    """Handle for an operation scheduled to start at a future simulated time.
+
+    ``op_id`` is filled in when the operation is actually invoked (operation
+    identifiers embed per-client sequence numbers, which are only known at
+    invocation time)."""
+
+    kind: str
+    client: str
+    start_time: float
+    op_id: Optional[str] = None
+
+    @property
+    def started(self) -> bool:
+        return self.op_id is not None
+
+
+class RegisterCluster(ABC):
+    """Base façade for an n-server atomic register emulation."""
+
+    #: Human-readable protocol name, used by the comparison tables.
+    protocol_name: str = "abstract"
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        *,
+        num_writers: int = 1,
+        num_readers: int = 1,
+        seed: int = 0,
+        delay_model: Optional[DelayModel] = None,
+        initial_value: bytes = b"",
+        keep_message_trace: bool = False,
+    ) -> None:
+        if n < 1:
+            raise ValueError("need at least one server")
+        if f < 0:
+            raise ValueError("f cannot be negative")
+        if num_writers < 1 or num_readers < 1:
+            raise ValueError("need at least one writer and one reader")
+        self.n = n
+        self.f = f
+        self.num_writers = num_writers
+        self.num_readers = num_readers
+        self.initial_value = initial_value
+        self._validate_parameters()
+
+        self.sim = Simulation(
+            seed=seed, delay_model=delay_model, keep_message_trace=keep_message_trace
+        )
+        self.history = History()
+        self.costs = CommunicationCostTracker().attach(self.sim.network)
+        self.storage = StorageTracker()
+        self.failures = FailureInjector(self.sim)
+
+        self.code: MDSCode = self._build_code()
+        self.initial_elements: List[CodedElement] = self.code.encode(initial_value)
+
+        self.server_ids = [f"s{i}" for i in range(n)]
+        self.writer_ids = [f"w{i}" for i in range(num_writers)]
+        self.reader_ids = [f"r{i}" for i in range(num_readers)]
+
+        self.servers: List[Process] = []
+        for i, pid in enumerate(self.server_ids):
+            server = self._make_server(i, pid)
+            self.sim.add_process(server)
+            self.servers.append(server)
+        self.writers: Dict[str, Process] = {}
+        for pid in self.writer_ids:
+            writer = self._make_writer(pid)
+            self.sim.add_process(writer)
+            self.writers[pid] = writer
+        self.readers: Dict[str, Process] = {}
+        for pid in self.reader_ids:
+            reader = self._make_reader(pid)
+            self.sim.add_process(reader)
+            self.readers[pid] = reader
+
+    # ------------------------------------------------------------------
+    # protocol-specific construction
+    # ------------------------------------------------------------------
+    def _validate_parameters(self) -> None:
+        """Subclasses refine this to enforce their own (n, f) constraints."""
+        if self.f > (self.n - 1) // 2:
+            raise ValueError(
+                f"{type(self).__name__} requires f <= (n-1)/2, got n={self.n}, f={self.f}"
+            )
+
+    @abstractmethod
+    def _build_code(self) -> MDSCode:
+        """The erasure code the protocol stores data with."""
+
+    @abstractmethod
+    def _make_server(self, index: int, pid: str) -> Process:
+        """Instantiate server ``index``."""
+
+    @abstractmethod
+    def _make_writer(self, pid: str) -> Process:
+        """Instantiate a writer client."""
+
+    @abstractmethod
+    def _make_reader(self, pid: str) -> Process:
+        """Instantiate a reader client."""
+
+    # ------------------------------------------------------------------
+    # process lookup helpers
+    # ------------------------------------------------------------------
+    def writer(self, which: Union[int, str] = 0) -> Process:
+        pid = which if isinstance(which, str) else self.writer_ids[which]
+        return self.writers[pid]
+
+    def reader(self, which: Union[int, str] = 0) -> Process:
+        pid = which if isinstance(which, str) else self.reader_ids[which]
+        return self.readers[pid]
+
+    def server(self, which: Union[int, str]) -> Process:
+        pid = which if isinstance(which, str) else self.server_ids[which]
+        return self.sim.get_process(pid)
+
+    # ------------------------------------------------------------------
+    # blocking operations (run the simulation until the operation completes)
+    # ------------------------------------------------------------------
+    def write(
+        self, value: bytes, writer: Union[int, str] = 0, *, max_events: int = 2_000_000
+    ) -> OperationRecord:
+        """Perform a write and run the simulation until it completes."""
+        op_id = self.writer(writer).start_write(value)
+        self.run_until_complete(op_id, max_events=max_events)
+        return self.history.get(op_id)
+
+    def read(
+        self, reader: Union[int, str] = 0, *, max_events: int = 2_000_000
+    ) -> OperationRecord:
+        """Perform a read and run the simulation until it completes."""
+        op_id = self.reader(reader).start_read()
+        self.run_until_complete(op_id, max_events=max_events)
+        return self.history.get(op_id)
+
+    def run_until_complete(self, op_id: str, *, max_events: int = 2_000_000) -> None:
+        self.sim.run_until(
+            lambda: self.history.get(op_id).is_complete, max_events=max_events
+        )
+
+    # ------------------------------------------------------------------
+    # scheduled (concurrent) operations
+    # ------------------------------------------------------------------
+    #: Delay between retries when a scheduled operation finds its client busy
+    #: (clients are well-formed: one operation at a time).
+    _busy_retry_delay = 0.25
+
+    def schedule_write(
+        self, at_time: float, value: bytes, writer: Union[int, str] = 0
+    ) -> ScheduledOperation:
+        """Schedule a write invocation at an absolute simulated time.
+
+        If the chosen writer still has an operation in flight at that time,
+        the invocation is retried shortly afterwards (clients issue one
+        operation at a time, per the paper's well-formedness assumption).
+        """
+        client = self.writer(writer)
+        handle = ScheduledOperation(kind="write", client=str(client.pid), start_time=at_time)
+
+        def start() -> None:
+            if client.is_crashed:
+                return
+            if client.busy:
+                self.sim.schedule(self._busy_retry_delay, start, label="retry write")
+                return
+            handle.op_id = client.start_write(value)
+
+        self.sim.schedule_at(at_time, start, label=f"start write @{client.pid}")
+        return handle
+
+    def schedule_read(
+        self, at_time: float, reader: Union[int, str] = 0
+    ) -> ScheduledOperation:
+        """Schedule a read invocation at an absolute simulated time.
+
+        Retries while the chosen reader is busy, like :meth:`schedule_write`.
+        """
+        client = self.reader(reader)
+        handle = ScheduledOperation(kind="read", client=str(client.pid), start_time=at_time)
+
+        def start() -> None:
+            if client.is_crashed:
+                return
+            if client.busy:
+                self.sim.schedule(self._busy_retry_delay, start, label="retry read")
+                return
+            handle.op_id = client.start_read()
+
+        self.sim.schedule_at(at_time, start, label=f"start read @{client.pid}")
+        return handle
+
+    def run(self, *, max_events: int = 10_000_000, max_time: float = float("inf")) -> None:
+        """Run the simulation to quiescence (all pending events processed)."""
+        self.sim.run(max_events=max_events, max_time=max_time)
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def crash_server(self, which: Union[int, str], at_time: float) -> None:
+        pid = which if isinstance(which, str) else self.server_ids[which]
+        self.failures.crash_at(pid, at_time)
+
+    def crash_client(self, pid: str, at_time: float) -> None:
+        if pid not in self.writers and pid not in self.readers:
+            raise ValueError(f"unknown client {pid!r}")
+        self.failures.crash_at(pid, at_time)
+
+    def apply_crash_schedule(self, schedule: CrashSchedule) -> None:
+        if len([e for e in schedule if e.pid in self.server_ids]) > self.f:
+            raise ValueError(
+                f"crash schedule kills more than f={self.f} servers; the "
+                f"protocol's guarantees would not apply"
+            )
+        self.failures.apply(schedule)
+
+    # ------------------------------------------------------------------
+    # metrics accessors
+    # ------------------------------------------------------------------
+    def operation_cost(self, op_id: str) -> float:
+        """Communication cost (in value units) attributed to an operation."""
+        return self.costs.cost_of(op_id)
+
+    def storage_peak(self) -> float:
+        """Worst-case total storage cost observed so far (in value units)."""
+        return self.storage.peak()
+
+    def storage_current(self) -> float:
+        return self.storage.current_total
+
+    def latency_tracker(self) -> LatencyTracker:
+        tracker = LatencyTracker()
+        tracker.record_operations(self.history.operations())
+        return tracker
+
+    def summary(self) -> Dict[str, object]:
+        """A compact dictionary of headline metrics for reports."""
+        writes = [op for op in self.history.writes() if op.is_complete]
+        reads = [op for op in self.history.reads() if op.is_complete]
+        write_costs = [self.operation_cost(op.op_id) for op in writes]
+        read_costs = [self.operation_cost(op.op_id) for op in reads]
+        return {
+            "protocol": self.protocol_name,
+            "n": self.n,
+            "f": self.f,
+            "k": self.code.k,
+            "completed_writes": len(writes),
+            "completed_reads": len(reads),
+            "max_write_cost": max(write_costs, default=0.0),
+            "max_read_cost": max(read_costs, default=0.0),
+            "storage_peak": self.storage_peak(),
+        }

@@ -1,0 +1,90 @@
+"""The event queue driving the discrete-event simulation.
+
+Events are ``(time, sequence, action)`` triples kept in a binary heap.  The
+sequence number breaks ties deterministically (FIFO among events scheduled
+for the same instant), which keeps executions fully reproducible for a
+given seed — an essential property for debugging distributed protocols.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled action.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the action fires.
+    seq:
+        Monotonically increasing tie-breaker assigned by the queue.
+    action:
+        Zero-argument callable executed when the event fires.
+    label:
+        Optional human-readable description (used in traces and error
+        messages); not part of the ordering.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+    def fire(self) -> None:
+        """Execute the event's action."""
+        self.action()
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute simulated ``time``."""
+        if time < 0:
+            raise ValueError(f"cannot schedule an event at negative time {time}")
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the next event in (time, seq) order."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.seq in self._cancelled:
+                self._cancelled.discard(event.seq)
+                continue
+            return event
+        raise IndexError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """The firing time of the next pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0].seq in self._cancelled:
+            event = heapq.heappop(self._heap)
+            self._cancelled.discard(event.seq)
+        return self._heap[0].time if self._heap else None
+
+    def cancel(self, event: Event) -> None:
+        """Lazily cancel a previously scheduled event."""
+        self._cancelled.add(event.seq)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._cancelled.clear()

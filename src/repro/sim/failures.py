@@ -1,0 +1,187 @@
+"""Failure injection: crash schedules and silent disk-read errors.
+
+Two failure modes from the paper are modelled:
+
+* **Crash failures** (Section II-d): up to ``f`` servers and any number of
+  clients may stop taking steps at arbitrary points of the execution.
+  :class:`CrashSchedule` describes *when* each victim crashes;
+  :class:`FailureInjector` arms the corresponding simulation events.
+
+* **Silent disk read errors** (Section VI): a server reading its locally
+  stored coded element from disk may obtain an arbitrary corrupted value
+  without being aware of it.  :class:`DiskErrorModel` decides, per local
+  read, whether to corrupt the returned bytes.  Metadata and temporary
+  variables are never corrupted, matching the paper's assumption that they
+  live in volatile memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.network import ProcessId
+from repro.sim.simulation import Simulation
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled crash."""
+
+    pid: ProcessId
+    time: float
+
+
+@dataclass
+class CrashSchedule:
+    """A set of crash events, typically limited to ``f`` servers.
+
+    The schedule is a plain data object so workloads can construct it
+    up-front (adversarially or randomly) and record it alongside results.
+    """
+
+    events: List[CrashEvent] = field(default_factory=list)
+
+    def add(self, pid: ProcessId, time: float) -> "CrashSchedule":
+        self.events.append(CrashEvent(pid=pid, time=time))
+        return self
+
+    def victims(self) -> List[ProcessId]:
+        return [e.pid for e in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @staticmethod
+    def random(
+        candidates: Sequence[ProcessId],
+        max_crashes: int,
+        rng: np.random.Generator,
+        *,
+        time_range: tuple[float, float] = (0.0, 10.0),
+        exact: bool = False,
+    ) -> "CrashSchedule":
+        """Crash a random subset of ``candidates`` at random times.
+
+        ``max_crashes`` is an upper bound (the paper's ``f``); with
+        ``exact=True`` exactly that many crashes are scheduled.
+        """
+        if max_crashes > len(candidates):
+            raise ValueError("cannot crash more processes than there are candidates")
+        count = max_crashes if exact else int(rng.integers(0, max_crashes + 1))
+        chosen = rng.choice(len(candidates), size=count, replace=False)
+        low, high = time_range
+        schedule = CrashSchedule()
+        for idx in chosen:
+            schedule.add(candidates[int(idx)], float(rng.uniform(low, high)))
+        return schedule
+
+
+class FailureInjector:
+    """Arms a :class:`CrashSchedule` on a simulation."""
+
+    def __init__(self, simulation: Simulation) -> None:
+        self._sim = simulation
+        self.injected: List[CrashEvent] = []
+
+    def apply(self, schedule: CrashSchedule) -> None:
+        for event in schedule:
+            self._arm(event)
+
+    def crash_at(self, pid: ProcessId, time: float) -> None:
+        self._arm(CrashEvent(pid=pid, time=time))
+
+    def _arm(self, event: CrashEvent) -> None:
+        process = self._sim.get_process(event.pid)
+        if process is None:
+            raise ValueError(f"unknown process {event.pid!r} in crash schedule")
+
+        def crash() -> None:
+            target = self._sim.get_process(event.pid)
+            if target is not None:
+                target.crash()
+
+        self._sim.schedule_at(event.time, crash, label=f"crash {event.pid}")
+        self.injected.append(event)
+
+
+class DiskErrorModel:
+    """Decides whether a local disk read returns corrupted bytes.
+
+    Parameters
+    ----------
+    error_probability:
+        Probability that any given local read is corrupted.
+    error_prone_servers:
+        If given, only these servers ever experience read errors (the
+        paper's ``e`` "error-prone coded elements" per read come from a
+        bounded set of flaky disks).
+    max_total_errors:
+        Global cap on the number of corrupted reads injected, so an
+        execution never exceeds the error-tolerance ``e`` the protocol was
+        configured for.
+    xor_mask:
+        The corruption pattern applied to the stored bytes; any non-zero
+        mask guarantees the returned data differs from the stored data.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        error_probability: float = 0.0,
+        error_prone_servers: Optional[Iterable[ProcessId]] = None,
+        max_total_errors: Optional[int] = None,
+        xor_mask: int = 0x5A,
+    ) -> None:
+        if not 0.0 <= error_probability <= 1.0:
+            raise ValueError("error_probability must be in [0, 1]")
+        if xor_mask == 0:
+            raise ValueError("xor_mask must be non-zero")
+        self._rng = rng
+        self.error_probability = error_probability
+        self.error_prone_servers = (
+            set(error_prone_servers) if error_prone_servers is not None else None
+        )
+        self.max_total_errors = max_total_errors
+        self.xor_mask = xor_mask
+        self.errors_injected = 0
+        self.reads_seen = 0
+        self.per_server_errors: Dict[ProcessId, int] = {}
+
+    def read(self, server: ProcessId, data: bytes) -> bytes:
+        """Return the bytes obtained when ``server`` reads ``data`` locally."""
+        self.reads_seen += 1
+        if not self._should_corrupt(server):
+            return data
+        self.errors_injected += 1
+        self.per_server_errors[server] = self.per_server_errors.get(server, 0) + 1
+        corrupted = bytes(b ^ self.xor_mask for b in data)
+        if not corrupted:
+            corrupted = bytes([self.xor_mask & 0xFF])
+        return corrupted
+
+    def _should_corrupt(self, server: ProcessId) -> bool:
+        if self.error_probability == 0.0:
+            return False
+        if (
+            self.error_prone_servers is not None
+            and server not in self.error_prone_servers
+        ):
+            return False
+        if (
+            self.max_total_errors is not None
+            and self.errors_injected >= self.max_total_errors
+        ):
+            return False
+        return bool(self._rng.random() < self.error_probability)
+
+    @staticmethod
+    def disabled() -> "DiskErrorModel":
+        """A model that never corrupts anything (the SODA default)."""
+        return DiskErrorModel(np.random.default_rng(0), error_probability=0.0)

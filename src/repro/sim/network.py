@@ -1,0 +1,222 @@
+"""Reliable point-to-point channels with configurable delay models.
+
+The paper's model (Section II-d) assumes a reliable link between every pair
+of processes: as long as the destination is non-faulty, every message placed
+in the channel is eventually delivered, even if the *sender* crashes
+immediately after sending.  No ordering guarantee is assumed.  The network
+here implements precisely that: a send schedules a delivery event after a
+delay drawn from the :class:`DelayModel`; the delivery is dropped only if
+the destination has crashed (a crashed process would never process it
+anyway, so this does not change protocol behaviour — it only avoids useless
+work).
+
+Messages can be any Python object.  For cost accounting the network reads
+two optional attributes off each message:
+
+* ``data_units`` — the normalized payload size (1.0 for a full value,
+  ``1/k`` for a coded element, 0.0 for metadata), per Section II-h;
+* ``op_id`` — the client operation on whose behalf the message is sent,
+  used to attribute communication cost to individual operations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Hashable, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.simulation import Simulation
+
+ProcessId = Hashable
+
+
+# ----------------------------------------------------------------------
+# delay models
+# ----------------------------------------------------------------------
+class DelayModel(ABC):
+    """Samples a one-way message delay for each (src, dst) pair."""
+
+    @abstractmethod
+    def sample(self, src: ProcessId, dst: ProcessId, rng: np.random.Generator) -> float:
+        """A non-negative delay for one message from ``src`` to ``dst``."""
+
+    def max_delay(self) -> Optional[float]:
+        """An upper bound on delays if one exists (``None`` = unbounded).
+
+        The latency analysis of Section V-C assumes such a bound Δ; delay
+        models that have one report it here so experiments can compare
+        measured latencies against ``5Δ`` / ``6Δ``.
+        """
+        return None
+
+
+class FixedDelay(DelayModel):
+    """Every message takes exactly ``delta`` time units (synchronous-looking)."""
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta < 0:
+            raise ValueError("delay must be non-negative")
+        self.delta = delta
+
+    def sample(self, src: ProcessId, dst: ProcessId, rng: np.random.Generator) -> float:
+        return self.delta
+
+    def max_delay(self) -> float:
+        return self.delta
+
+
+class UniformDelay(DelayModel):
+    """Delays drawn uniformly from ``[low, high]`` — bounded asynchrony."""
+
+    def __init__(self, low: float = 0.1, high: float = 1.0) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"require 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, src: ProcessId, dst: ProcessId, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def max_delay(self) -> float:
+        return self.high
+
+
+class ExponentialDelay(DelayModel):
+    """Heavy-ish tailed delays: ``base + Exp(mean)`` optionally capped.
+
+    Models an asynchronous network where most messages are fast but some
+    straggle; with no cap there is no Δ bound, matching the paper's fully
+    asynchronous setting.
+    """
+
+    def __init__(self, mean: float = 1.0, base: float = 0.0, cap: Optional[float] = None) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        if base < 0:
+            raise ValueError("base must be non-negative")
+        if cap is not None and cap < base:
+            raise ValueError("cap must be at least base")
+        self.mean = mean
+        self.base = base
+        self.cap = cap
+
+    def sample(self, src: ProcessId, dst: ProcessId, rng: np.random.Generator) -> float:
+        delay = self.base + float(rng.exponential(self.mean))
+        if self.cap is not None:
+            delay = min(delay, self.cap)
+        return delay
+
+    def max_delay(self) -> Optional[float]:
+        return self.cap
+
+
+# ----------------------------------------------------------------------
+# message bookkeeping
+# ----------------------------------------------------------------------
+@dataclass
+class MessageRecord:
+    """One message in flight (or already delivered), for tracing and costs."""
+
+    src: ProcessId
+    dst: ProcessId
+    payload: object
+    sent_at: float
+    delivered_at: Optional[float] = None
+    dropped: bool = False
+
+    @property
+    def data_units(self) -> float:
+        return float(getattr(self.payload, "data_units", 0.0))
+
+    @property
+    def op_id(self) -> Optional[object]:
+        return getattr(self.payload, "op_id", None)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    total_data_units: float = 0.0
+    metadata_messages: int = 0
+
+    def record_send(self, record: MessageRecord) -> None:
+        self.messages_sent += 1
+        units = record.data_units
+        self.total_data_units += units
+        if units == 0.0:
+            self.metadata_messages += 1
+
+
+class Network:
+    """Reliable, non-FIFO point-to-point message delivery."""
+
+    def __init__(
+        self,
+        simulation: "Simulation",
+        delay_model: DelayModel,
+        *,
+        keep_trace: bool = False,
+    ) -> None:
+        self._sim = simulation
+        self.delay_model = delay_model
+        self.stats = NetworkStats()
+        self.keep_trace = keep_trace
+        self.trace: List[MessageRecord] = []
+        self._send_listeners: List[Callable[[MessageRecord], None]] = []
+        self._deliver_listeners: List[Callable[[MessageRecord], None]] = []
+
+    # -- listener registration -----------------------------------------
+    def on_send(self, listener: Callable[[MessageRecord], None]) -> None:
+        """Register a callback invoked for every message placed on a channel."""
+        self._send_listeners.append(listener)
+
+    def on_deliver(self, listener: Callable[[MessageRecord], None]) -> None:
+        """Register a callback invoked whenever a message is handed to a process."""
+        self._deliver_listeners.append(listener)
+
+    # -- sending ---------------------------------------------------------
+    def send(self, src: ProcessId, dst: ProcessId, payload: object) -> MessageRecord:
+        """Place ``payload`` on the channel from ``src`` to ``dst``.
+
+        The message is delivered after a delay drawn from the delay model
+        unless the destination is (or becomes) crashed.  The sender may
+        crash immediately afterwards without affecting delivery, matching
+        the paper's channel model.
+        """
+        record = MessageRecord(
+            src=src, dst=dst, payload=payload, sent_at=self._sim.now
+        )
+        self.stats.record_send(record)
+        if self.keep_trace:
+            self.trace.append(record)
+        for listener in self._send_listeners:
+            listener(record)
+        delay = self.delay_model.sample(src, dst, self._sim.rng)
+        if delay < 0:
+            raise ValueError(f"delay model produced a negative delay {delay}")
+        self._sim.schedule(
+            delay,
+            lambda: self._deliver(record),
+            label=f"deliver {type(payload).__name__} {src}->{dst}",
+        )
+        return record
+
+    # -- delivery --------------------------------------------------------
+    def _deliver(self, record: MessageRecord) -> None:
+        destination = self._sim.get_process(record.dst)
+        if destination is None or destination.is_crashed:
+            record.dropped = True
+            self.stats.messages_dropped += 1
+            return
+        record.delivered_at = self._sim.now
+        self.stats.messages_delivered += 1
+        for listener in self._deliver_listeners:
+            listener(record)
+        destination.deliver(record.src, record.payload)

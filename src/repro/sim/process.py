@@ -1,0 +1,121 @@
+"""Base class for simulated processes (clients and servers).
+
+A process is a purely message-driven automaton: it reacts to message
+deliveries via :meth:`Process.on_message` and to locally scheduled actions
+via timers.  This mirrors the IO-Automata style used by the paper (each
+transition is triggered by an input action) without the notational
+overhead.
+
+Crash failures follow Section II-d: a crashed process performs no further
+local computation and sends no further messages.  Messages already placed
+on channels by the process *before* the crash are still delivered.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim.network import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulation import Simulation
+
+
+class ProcessCrashed(RuntimeError):
+    """Raised when an operation is attempted on behalf of a crashed process."""
+
+
+class Process:
+    """A named automaton attached to a :class:`~repro.sim.simulation.Simulation`."""
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self._sim: Optional["Simulation"] = None
+        self._crashed = False
+        self.messages_received = 0
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, simulation: "Simulation") -> None:
+        """Called by the simulation when the process is registered."""
+        self._sim = simulation
+
+    @property
+    def sim(self) -> "Simulation":
+        if self._sim is None:
+            raise RuntimeError(
+                f"process {self.pid!r} is not attached to a simulation"
+            )
+        return self._sim
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    # ------------------------------------------------------------------
+    # failure state
+    # ------------------------------------------------------------------
+    @property
+    def is_crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Crash the process: it stops sending and processing messages."""
+        if not self._crashed:
+            self._crashed = True
+            self.on_crash()
+
+    def on_crash(self) -> None:
+        """Hook for subclasses (e.g. to release bookkeeping); default no-op."""
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def send(self, dst: ProcessId, message: object) -> None:
+        """Send ``message`` to ``dst`` over the reliable channel.
+
+        Silently ignored if this process has crashed (a crashed process
+        cannot take send actions).
+        """
+        if self._crashed:
+            return
+        self.messages_sent += 1
+        self.sim.network.send(self.pid, dst, message)
+
+    def broadcast(self, destinations, message_factory: Callable[[ProcessId], object]) -> None:
+        """Send an individually constructed message to every destination."""
+        for dst in destinations:
+            self.send(dst, message_factory(dst))
+
+    def deliver(self, sender: ProcessId, message: object) -> None:
+        """Entry point used by the network; dispatches to :meth:`on_message`."""
+        if self._crashed:
+            return
+        self.messages_received += 1
+        self.on_message(sender, message)
+
+    def on_message(self, sender: ProcessId, message: object) -> None:
+        """Handle a delivered message.  Subclasses override this."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # local timers
+    # ------------------------------------------------------------------
+    def set_timer(self, delay: float, action: Callable[[], None], label: str = "") -> None:
+        """Schedule a local action after ``delay`` time units.
+
+        The action is skipped if the process crashes before it fires.
+        """
+
+        def guarded() -> None:
+            if not self._crashed:
+                action()
+
+        self.sim.schedule(delay, guarded, label=label or f"timer@{self.pid}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        status = "crashed" if self._crashed else "up"
+        return f"{type(self).__name__}(pid={self.pid!r}, {status})"

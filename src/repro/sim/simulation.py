@@ -1,0 +1,187 @@
+"""The discrete-event simulation orchestrator.
+
+A :class:`Simulation` owns the virtual clock, the event queue, the network
+and the registered processes.  Protocol test-benches and the cluster
+façades drive it with :meth:`Simulation.run` (until quiescence) or
+:meth:`Simulation.run_until` (until a predicate holds), both of which guard
+against runaway executions with event-count and time limits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.network import DelayModel, Network, ProcessId, UniformDelay
+from repro.sim.process import Process
+
+
+class SimulationError(RuntimeError):
+    """Raised when a run hits its safety limits before finishing."""
+
+
+class Simulation:
+    """A deterministic discrete-event simulation.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random generator (message delays,
+        protocol-level randomness, failure injection all derive from it).
+    delay_model:
+        Delay distribution for the network; defaults to
+        :class:`~repro.sim.network.UniformDelay`, i.e. bounded asynchrony.
+    keep_message_trace:
+        Keep a full record of every message (useful in tests, costly in
+        long benchmarks).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        delay_model: Optional[DelayModel] = None,
+        *,
+        keep_message_trace: bool = False,
+    ) -> None:
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._processes: Dict[ProcessId, Process] = {}
+        self.network = Network(
+            self, delay_model or UniformDelay(), keep_trace=keep_message_trace
+        )
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # time and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def schedule(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self._now + delay, action, label=label)
+
+    def schedule_at(
+        self, time: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated time ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        return self._queue.push(time, action, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # process registry
+    # ------------------------------------------------------------------
+    def add_process(self, process: Process) -> Process:
+        """Register a process; its pid must be unique within the simulation."""
+        if process.pid in self._processes:
+            raise ValueError(f"duplicate process id {process.pid!r}")
+        self._processes[process.pid] = process
+        process.attach(self)
+        return process
+
+    def add_processes(self, processes: Iterable[Process]) -> List[Process]:
+        return [self.add_process(p) for p in processes]
+
+    def get_process(self, pid: ProcessId) -> Optional[Process]:
+        return self._processes.get(pid)
+
+    @property
+    def processes(self) -> Dict[ProcessId, Process]:
+        return dict(self._processes)
+
+    def crashed_processes(self) -> List[ProcessId]:
+        return [pid for pid, p in self._processes.items() if p.is_crashed]
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process a single event; returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        if event.time < self._now:
+            raise SimulationError(
+                f"event {event.label!r} scheduled in the past "
+                f"({event.time} < {self._now})"
+            )
+        self._now = event.time
+        self.events_processed += 1
+        event.fire()
+        return True
+
+    def run(
+        self,
+        *,
+        max_time: float = float("inf"),
+        max_events: int = 10_000_000,
+    ) -> None:
+        """Run until the event queue drains (quiescence) or a limit is hit."""
+        processed = 0
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is not None and next_time > max_time:
+                return
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events without reaching quiescence"
+                )
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        *,
+        max_time: float = float("inf"),
+        max_events: int = 10_000_000,
+    ) -> None:
+        """Run until ``predicate()`` is true.
+
+        Raises
+        ------
+        SimulationError
+            If the queue drains, the time limit passes or the event budget
+            is exhausted while the predicate is still false.  Protocol
+            liveness tests rely on this to turn "operation never completes"
+            into a hard failure.
+        """
+        processed = 0
+        while not predicate():
+            if not self._queue:
+                raise SimulationError(
+                    "event queue drained before the condition became true"
+                )
+            next_time = self._queue.peek_time()
+            if next_time is not None and next_time > max_time:
+                raise SimulationError(
+                    f"condition not reached by simulated time {max_time}"
+                )
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"condition not reached within {max_events} events"
+                )
+
+    def spawn_rng(self) -> np.random.Generator:
+        """A child generator split off the simulation's seed (for injectors
+        and workload generators that should not perturb delay sampling)."""
+        return np.random.default_rng(self.rng.integers(0, 2**63 - 1))

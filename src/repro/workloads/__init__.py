@@ -1,0 +1,30 @@
+"""Workload generation for the SODA reproduction experiments.
+
+The paper's evaluation is analytical, so there is no published trace to
+replay; instead the experiments drive the protocols with synthetic
+workloads that exercise the quantities the theorems talk about:
+
+* :mod:`repro.workloads.generator` — randomized mixes of concurrent reads
+  and writes (with optional crash schedules), the bread-and-butter workload
+  for liveness/atomicity checking;
+* :mod:`repro.workloads.scenarios` — hand-crafted scenarios that pin down a
+  single variable: a read overlapping exactly ``delta_w`` writes, purely
+  sequential (uncontended) operation, crash-heavy executions, and the
+  flaky-disk scenario for SODAerr.
+"""
+
+from repro.workloads.generator import WorkloadResult, WorkloadSpec, run_workload
+from repro.workloads.scenarios import (
+    concurrent_read_scenario,
+    crash_heavy_scenario,
+    sequential_scenario,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadResult",
+    "run_workload",
+    "sequential_scenario",
+    "concurrent_read_scenario",
+    "crash_heavy_scenario",
+]

@@ -1,0 +1,130 @@
+"""Randomized concurrent workloads.
+
+A :class:`WorkloadSpec` describes a mix of writes and reads issued by a set
+of clients over a window of simulated time, optionally together with server
+crashes (bounded by the cluster's ``f``).  :func:`run_workload` schedules
+the operations on any :class:`~repro.runtime.cluster.RegisterCluster`, runs
+the simulation to quiescence and returns the recorded history together with
+per-operation costs — everything the atomicity and cost experiments need.
+
+Write values are generated to be globally unique (they embed the writer id
+and a sequence number), which the black-box linearizability checker
+requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.consistency.history import History
+from repro.runtime.cluster import RegisterCluster, ScheduledOperation
+from repro.sim.failures import CrashSchedule
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a randomized concurrent workload.
+
+    Attributes
+    ----------
+    writes_per_writer / reads_per_reader:
+        Number of operations each client issues.
+    window:
+        Operations are invoked at times drawn uniformly from ``[0, window]``
+        (subject to the one-at-a-time well-formedness of each client).
+    value_size:
+        Size in bytes of each written value (the payload is random bytes
+        plus a unique header).
+    server_crashes:
+        Number of servers to crash at random times (must not exceed the
+        cluster's ``f``).
+    crash_window:
+        Crash times are drawn uniformly from ``[0, crash_window]``
+        (defaults to ``window``).
+    seed:
+        Seed for the workload's own randomness (independent from the
+        cluster's delay randomness).
+    """
+
+    writes_per_writer: int = 3
+    reads_per_reader: int = 3
+    window: float = 10.0
+    value_size: int = 64
+    server_crashes: int = 0
+    crash_window: Optional[float] = None
+    seed: int = 0
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload execution."""
+
+    history: History
+    write_handles: List[ScheduledOperation] = field(default_factory=list)
+    read_handles: List[ScheduledOperation] = field(default_factory=list)
+    crash_schedule: Optional[CrashSchedule] = None
+
+    def write_costs(self, cluster: RegisterCluster) -> List[float]:
+        return [
+            cluster.operation_cost(h.op_id) for h in self.write_handles if h.op_id
+        ]
+
+    def read_costs(self, cluster: RegisterCluster) -> List[float]:
+        return [
+            cluster.operation_cost(h.op_id) for h in self.read_handles if h.op_id
+        ]
+
+    @property
+    def completed_operations(self) -> int:
+        return len(self.history.complete_operations())
+
+
+def unique_value(writer_index: int, sequence: int, size: int, rng: np.random.Generator) -> bytes:
+    """A write value that is globally unique and has the requested size."""
+    header = f"w{writer_index}#{sequence}|".encode()
+    if size <= len(header):
+        return header
+    filler = rng.integers(0, 256, size=size - len(header), dtype=np.uint8).tobytes()
+    return header + filler
+
+
+def run_workload(cluster: RegisterCluster, spec: WorkloadSpec) -> WorkloadResult:
+    """Schedule the workload on ``cluster``, run to quiescence, return results."""
+    rng = np.random.default_rng(spec.seed)
+    result = WorkloadResult(history=cluster.history)
+
+    if spec.server_crashes:
+        if spec.server_crashes > cluster.f:
+            raise ValueError(
+                f"workload crashes {spec.server_crashes} servers but the cluster "
+                f"only tolerates f={cluster.f}"
+            )
+        schedule = CrashSchedule.random(
+            cluster.server_ids,
+            spec.server_crashes,
+            rng,
+            time_range=(0.0, spec.crash_window or spec.window),
+            exact=True,
+        )
+        cluster.apply_crash_schedule(schedule)
+        result.crash_schedule = schedule
+
+    sequence = 0
+    for w_index in range(cluster.num_writers):
+        for _ in range(spec.writes_per_writer):
+            at = float(rng.uniform(0.0, spec.window))
+            value = unique_value(w_index, sequence, spec.value_size, rng)
+            sequence += 1
+            result.write_handles.append(
+                cluster.schedule_write(at, value, writer=w_index)
+            )
+    for r_index in range(cluster.num_readers):
+        for _ in range(spec.reads_per_reader):
+            at = float(rng.uniform(0.0, spec.window))
+            result.read_handles.append(cluster.schedule_read(at, reader=r_index))
+
+    cluster.run()
+    return result

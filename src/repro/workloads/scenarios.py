@@ -1,0 +1,125 @@
+"""Hand-crafted scenarios that isolate one experimental variable.
+
+These are the workloads behind the cost experiments:
+
+* :func:`sequential_scenario` — strictly sequential writes and reads
+  (``delta_w = 0``), used for the uncontended cost rows of Table I and the
+  storage-cost sweep (E1/E2).
+* :func:`concurrent_read_scenario` — a single read that overlaps a
+  controlled number of writes, used for the read-cost-vs-``delta_w`` curve
+  of Theorem 5.6 (E4).
+* :func:`crash_heavy_scenario` — operations racing a maximal crash
+  schedule, used for the liveness experiments (E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.consistency.history import OperationRecord
+from repro.runtime.cluster import RegisterCluster
+from repro.workloads.generator import unique_value
+
+
+@dataclass
+class ScenarioResult:
+    """Operations of interest produced by a scenario."""
+
+    writes: List[OperationRecord]
+    reads: List[OperationRecord]
+
+    @property
+    def all_complete(self) -> bool:
+        return all(op.is_complete for op in self.writes + self.reads)
+
+
+def sequential_scenario(
+    cluster: RegisterCluster,
+    *,
+    num_writes: int = 3,
+    num_reads: int = 3,
+    value_size: int = 64,
+    seed: int = 0,
+) -> ScenarioResult:
+    """Blocking writes followed by blocking reads — zero concurrency."""
+    rng = np.random.default_rng(seed)
+    writes = []
+    for i in range(num_writes):
+        value = unique_value(0, i, value_size, rng)
+        writes.append(cluster.write(value))
+    reads = [cluster.read() for _ in range(num_reads)]
+    cluster.run()
+    return ScenarioResult(writes=writes, reads=reads)
+
+
+def concurrent_read_scenario(
+    cluster: RegisterCluster,
+    *,
+    concurrent_writes: int,
+    value_size: int = 64,
+    write_spacing: float = 0.4,
+    seed: int = 0,
+) -> OperationRecord:
+    """One read overlapping ``concurrent_writes`` writes.
+
+    The read is started first; the writes are invoked in quick succession
+    immediately afterwards (spread over the read's registration window), so
+    every write is concurrent with the read in the sense of the paper's
+    ``delta_w``.  Requires a cluster with at least one reader and enough
+    writers to keep each client well-formed (writes are distributed
+    round-robin over the available writers and retried if a writer is
+    busy).
+
+    Returns the read's operation record after the execution reaches
+    quiescence.
+    """
+    rng = np.random.default_rng(seed)
+    # Establish a baseline version so the read has something to return even
+    # if every concurrent write lands after it decodes.
+    cluster.write(unique_value(0, 10_000, value_size, rng))
+    start = cluster.sim.now + 1.0
+    read_handle = cluster.schedule_read(start, reader=0)
+    for i in range(concurrent_writes):
+        writer = i % cluster.num_writers
+        at = start + 0.05 + i * write_spacing
+        cluster.schedule_write(
+            at, unique_value(writer, i, value_size, rng), writer=writer
+        )
+    cluster.run()
+    assert read_handle.op_id is not None
+    return cluster.history.get(read_handle.op_id)
+
+
+def crash_heavy_scenario(
+    cluster: RegisterCluster,
+    *,
+    num_writes: int = 4,
+    num_reads: int = 4,
+    value_size: int = 64,
+    seed: int = 0,
+    crash_all_f: bool = True,
+) -> ScenarioResult:
+    """Concurrent operations racing ``f`` server crashes."""
+    rng = np.random.default_rng(seed)
+    if crash_all_f and cluster.f > 0:
+        victims = rng.choice(cluster.n, size=cluster.f, replace=False)
+        for v in victims:
+            cluster.crash_server(int(v), at_time=float(rng.uniform(0.5, 5.0)))
+    write_handles = []
+    read_handles = []
+    for i in range(num_writes):
+        writer = i % cluster.num_writers
+        at = float(rng.uniform(0.0, 8.0))
+        write_handles.append(
+            cluster.schedule_write(at, unique_value(writer, i, value_size, rng), writer=writer)
+        )
+    for i in range(num_reads):
+        reader = i % cluster.num_readers
+        read_handles.append(cluster.schedule_read(float(rng.uniform(0.0, 8.0)), reader=reader))
+    cluster.run()
+    writes = [cluster.history.get(h.op_id) for h in write_handles if h.op_id]
+    reads = [cluster.history.get(h.op_id) for h in read_handles if h.op_id]
+    return ScenarioResult(writes=writes, reads=reads)

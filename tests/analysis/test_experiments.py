@@ -1,0 +1,113 @@
+"""Tests for the experiment runners (the benchmark harness's backbone)."""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (
+    atomicity_experiment,
+    latency_experiment,
+    read_cost_vs_concurrency,
+    sodaerr_experiment,
+    storage_cost_vs_f,
+    tradeoff_experiment,
+    write_cost_vs_f,
+)
+
+
+class TestStorageSweep:
+    def test_matches_theorem_5_3(self):
+        points = storage_cost_vs_f(n=8, f_values=(1, 2, 3), seed=1)
+        assert len(points) == 3
+        for p in points:
+            assert p.measured == pytest.approx(p.predicted)
+            assert p.predicted == pytest.approx(8 / (8 - p.f))
+
+    def test_flat_compared_to_casgc(self):
+        for p in storage_cost_vs_f(n=8, f_values=(1, 2, 3), seed=2):
+            if not math.isnan(p.casgc_predicted):
+                assert p.measured <= p.casgc_predicted + 1e-9
+
+    def test_default_f_range(self):
+        points = storage_cost_vs_f(n=7, seed=3)
+        assert [p.f for p in points] == [1, 2, 3]
+
+
+class TestWriteCostSweep:
+    def test_within_5f_squared(self):
+        for p in write_cost_vs_f((1, 2, 3), seed=1):
+            assert p.measured <= p.bound + 1e-9
+
+    def test_quadratic_growth(self):
+        points = write_cost_vs_f((1, 3), seed=2)
+        assert points[1].measured > points[0].measured
+
+    def test_fixed_n(self):
+        points = write_cost_vs_f((1, 2), n=9, seed=3)
+        assert all(p.n == 9 for p in points)
+
+
+class TestReadCostVsConcurrency:
+    def test_bound_holds(self):
+        for p in read_cost_vs_concurrency(n=6, f=2, concurrency_levels=(0, 2, 4), seed=1):
+            assert p.measured_cost <= p.bound + 1e-9
+
+    def test_uncontended_cost(self):
+        p = read_cost_vs_concurrency(n=6, f=2, concurrency_levels=(0,), seed=2)[0]
+        assert p.measured_cost == pytest.approx(6 / 4)
+        assert p.measured_delta_w == 0
+
+
+class TestLatency:
+    def test_bounds_hold(self):
+        result = latency_experiment(n=6, f=2, delta=1.0, rounds=2, seed=1)
+        assert result.operations > 0
+        assert result.max_write_latency <= result.write_bound + 1e-9
+        assert result.max_read_latency <= result.read_bound + 1e-9
+
+    def test_scales_with_delta(self):
+        r1 = latency_experiment(n=5, f=2, delta=1.0, rounds=1, seed=2)
+        r2 = latency_experiment(n=5, f=2, delta=2.0, rounds=1, seed=2)
+        assert r2.max_write_latency == pytest.approx(2 * r1.max_write_latency)
+
+
+class TestSodaErrExperiment:
+    def test_correctness_and_costs(self):
+        points = sodaerr_experiment(n=10, f=2, e_values=(0, 1, 2), reads=2, seed=1)
+        assert len(points) == 3
+        for p in points:
+            assert p.reads_correct
+            assert p.measured_storage == pytest.approx(p.predicted_storage)
+            assert p.measured_read_cost <= p.predicted_read_cost + 1e-9
+            assert p.measured_write_cost <= p.write_bound + 1e-9
+        assert points[1].errors_injected > 0
+        # Storage grows with the error tolerance e.
+        assert points[0].measured_storage < points[2].measured_storage
+
+
+class TestAtomicityExperiment:
+    @pytest.mark.parametrize("protocol", ["SODA", "ABD", "CASGC"])
+    def test_all_executions_linearizable(self, protocol):
+        result = atomicity_experiment(protocol, executions=2, seed=1)
+        assert result.linearizable_executions == result.executions
+        assert result.lemma_violations == 0
+        assert result.incomplete_operations == 0
+        assert result.operations > 0
+
+    def test_with_crashes(self):
+        result = atomicity_experiment("SODA", n=5, f=2, executions=2, crashes=2, seed=2)
+        assert result.linearizable_executions == result.executions
+
+    def test_sodaerr(self):
+        result = atomicity_experiment("SODAerr", n=7, f=2, executions=1, seed=3)
+        assert result.linearizable_executions == 1
+
+
+class TestTradeoff:
+    def test_soda_storage_flat_casgc_grows(self):
+        points = tradeoff_experiment(n=6, f=2, delta_values=(0, 2, 4), seed=1)
+        soda_storage = {p.soda_storage for p in points}
+        assert len(soda_storage) == 1  # flat
+        casgc = [p.casgc_storage for p in points]
+        assert casgc == sorted(casgc)
+        assert casgc[-1] > min(soda_storage)

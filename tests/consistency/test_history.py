@@ -1,0 +1,103 @@
+"""Tests for operation history recording."""
+
+import pytest
+
+from repro.consistency.history import READ, WRITE, History
+
+
+class TestRecording:
+    def test_invoke_and_respond(self):
+        h = History()
+        h.invoke("w1", WRITE, "w0", 0.0, value=b"v")
+        rec = h.respond("w1", 2.0, tag="t")
+        assert rec.is_complete
+        assert rec.duration == 2.0
+        assert rec.value == b"v"
+        assert rec.tag == "t"
+
+    def test_duplicate_op_id_rejected(self):
+        h = History()
+        h.invoke("op", WRITE, "w0", 0.0)
+        with pytest.raises(ValueError):
+            h.invoke("op", READ, "r0", 1.0)
+
+    def test_unknown_kind_rejected(self):
+        h = History()
+        with pytest.raises(ValueError):
+            h.invoke("op", "delete", "c", 0.0)
+
+    def test_double_response_rejected(self):
+        h = History()
+        h.invoke("op", WRITE, "w0", 0.0)
+        h.respond("op", 1.0)
+        with pytest.raises(ValueError):
+            h.respond("op", 2.0)
+
+    def test_response_before_invocation_rejected(self):
+        h = History()
+        h.invoke("op", WRITE, "w0", 5.0)
+        with pytest.raises(ValueError):
+            h.respond("op", 1.0)
+
+    def test_read_value_recorded_at_response(self):
+        h = History()
+        h.invoke("r1", READ, "r0", 0.0)
+        h.respond("r1", 1.0, value=b"result")
+        assert h.get("r1").value == b"result"
+
+    def test_mark_failed(self):
+        h = History()
+        h.invoke("op", WRITE, "w0", 0.0)
+        h.mark_failed("op")
+        assert h.get("op").failed
+        assert not h.get("op").is_complete
+
+
+class TestQueries:
+    def build(self):
+        h = History()
+        h.invoke("w1", WRITE, "w0", 0.0, value=b"a")
+        h.respond("w1", 2.0)
+        h.invoke("r1", READ, "r0", 1.0)
+        h.respond("r1", 3.0, value=b"a")
+        h.invoke("w2", WRITE, "w0", 5.0, value=b"b")
+        return h
+
+    def test_listing(self):
+        h = self.build()
+        assert len(h) == 3
+        assert [op.op_id for op in h.operations()] == ["w1", "r1", "w2"]
+        assert [op.op_id for op in h.writes()] == ["w1", "w2"]
+        assert [op.op_id for op in h.reads()] == ["r1"]
+        assert [op.op_id for op in h.complete_operations()] == ["w1", "r1"]
+        assert [op.op_id for op in h.incomplete_operations()] == ["w2"]
+
+    def test_iteration(self):
+        h = self.build()
+        assert len(list(h)) == 3
+
+    def test_precedence_and_concurrency(self):
+        h = self.build()
+        w1, r1, w2 = h.get("w1"), h.get("r1"), h.get("w2")
+        assert w1.precedes(w2)
+        assert not w2.precedes(w1)
+        assert w1.concurrent_with(r1)
+        assert r1.concurrent_with(w1)
+        assert not w1.concurrent_with(w2)
+        # An incomplete operation never precedes anything.
+        assert not w2.precedes(w1)
+
+    def test_concurrency_degree(self):
+        h = self.build()
+        assert h.concurrency_degree(h.get("r1")) == 1
+        assert h.concurrency_degree(h.get("r1"), kind=WRITE) == 1
+        assert h.concurrency_degree(h.get("w1"), kind=READ) == 1
+        assert h.concurrency_degree(h.get("w2")) == 0
+
+    def test_restricted_to_complete(self):
+        h = self.build()
+        restricted = h.restricted_to_complete()
+        assert len(restricted) == 2
+        assert all(op.is_complete for op in restricted.operations())
+        # Original history is untouched.
+        assert len(h) == 3

@@ -1,0 +1,104 @@
+"""Tests for the tag-based Lemma 2.1 atomicity check."""
+
+import pytest
+
+from repro.consistency.history import READ, WRITE, History
+from repro.consistency.lemma_check import check_lemma_properties
+from repro.core.tags import TAG_ZERO, Tag
+
+
+def history(*ops):
+    """ops: (op_id, kind, inv, res, value, tag)."""
+    h = History()
+    for op_id, kind, inv, res, value, tag in ops:
+        h.invoke(op_id, kind, "c-" + op_id, inv, value=value if kind == WRITE else None)
+        h.respond(op_id, res, value=value, tag=tag)
+    return h
+
+
+class TestCleanHistories:
+    def test_empty(self):
+        assert check_lemma_properties(History()) == []
+
+    def test_simple_write_read(self):
+        h = history(
+            ("w1", WRITE, 0, 1, b"a", Tag(1, "w")),
+            ("r1", READ, 2, 3, b"a", Tag(1, "w")),
+        )
+        assert check_lemma_properties(h, initial_tag=TAG_ZERO) == []
+
+    def test_read_of_initial_value(self):
+        h = history(("r1", READ, 0, 1, b"", TAG_ZERO))
+        assert check_lemma_properties(h, initial_tag=TAG_ZERO, initial_value=b"") == []
+
+    def test_concurrent_writes_distinct_tags(self):
+        h = history(
+            ("w1", WRITE, 0, 10, b"a", Tag(1, "w1")),
+            ("w2", WRITE, 0, 10, b"b", Tag(1, "w2")),
+            ("r1", READ, 11, 12, b"b", Tag(1, "w2")),
+        )
+        assert check_lemma_properties(h, initial_tag=TAG_ZERO) == []
+
+    def test_incomplete_operations_ignored(self):
+        h = History()
+        h.invoke("w1", WRITE, "w", 0, value=b"a")
+        assert check_lemma_properties(h, initial_tag=TAG_ZERO) == []
+
+
+class TestViolations:
+    def test_p1_tag_order_against_real_time(self):
+        """A later operation carrying a smaller tag violates P1."""
+        h = history(
+            ("w1", WRITE, 0, 1, b"a", Tag(2, "w")),
+            ("w2", WRITE, 2, 3, b"b", Tag(1, "w")),
+        )
+        violations = check_lemma_properties(h, initial_tag=TAG_ZERO)
+        assert any(v.property_name == "P1" for v in violations)
+
+    def test_p1_read_before_its_write(self):
+        """A read that returns a tag, followed in real time by the write that
+        creates it, violates P1 (write < read in the partial order)."""
+        h = history(
+            ("r1", READ, 0, 1, b"a", Tag(1, "w")),
+            ("w1", WRITE, 2, 3, b"a", Tag(1, "w")),
+        )
+        violations = check_lemma_properties(h, initial_tag=TAG_ZERO)
+        assert any(v.property_name == "P1" for v in violations)
+
+    def test_p2_duplicate_write_tags(self):
+        h = history(
+            ("w1", WRITE, 0, 1, b"a", Tag(1, "w")),
+            ("w2", WRITE, 2, 3, b"b", Tag(1, "w")),
+        )
+        violations = check_lemma_properties(h, initial_tag=TAG_ZERO)
+        assert any(v.property_name == "P2" for v in violations)
+
+    def test_p3_read_value_mismatch(self):
+        h = history(
+            ("w1", WRITE, 0, 1, b"expected", Tag(1, "w")),
+            ("r1", READ, 2, 3, b"different", Tag(1, "w")),
+        )
+        violations = check_lemma_properties(h, initial_tag=TAG_ZERO)
+        assert any(v.property_name == "P3" for v in violations)
+
+    def test_p3_read_of_unknown_tag(self):
+        h = history(("r1", READ, 0, 1, b"x", Tag(9, "ghost")))
+        violations = check_lemma_properties(h, initial_tag=TAG_ZERO)
+        assert any(v.property_name == "P3" for v in violations)
+
+    def test_p3_initial_tag_wrong_value(self):
+        h = history(("r1", READ, 0, 1, b"not-initial", TAG_ZERO))
+        violations = check_lemma_properties(h, initial_tag=TAG_ZERO, initial_value=b"")
+        assert any(v.property_name == "P3" for v in violations)
+
+    def test_missing_tags_rejected(self):
+        h = History()
+        h.invoke("w1", WRITE, "w", 0, value=b"a")
+        h.respond("w1", 1.0)  # no tag recorded
+        with pytest.raises(ValueError):
+            check_lemma_properties(h, initial_tag=TAG_ZERO)
+
+    def test_violation_string_rendering(self):
+        h = history(("r1", READ, 0, 1, b"x", Tag(9, "ghost")))
+        violations = check_lemma_properties(h, initial_tag=TAG_ZERO)
+        assert "P3" in str(violations[0])

@@ -1,0 +1,128 @@
+"""Tests for the black-box register linearizability checker."""
+
+import pytest
+
+from repro.consistency.history import READ, WRITE, History
+from repro.consistency.wgl import check_linearizability
+
+
+def h_ops(*ops):
+    """Build a history from (op_id, kind, client, inv, res, value) tuples;
+    res=None leaves the operation incomplete."""
+    h = History()
+    for op_id, kind, client, inv, res, value in ops:
+        h.invoke(op_id, kind, client, inv, value=value if kind == WRITE else None)
+        if res is not None:
+            h.respond(op_id, res, value=value)
+    return h
+
+
+class TestLinearizableHistories:
+    def test_empty_history(self):
+        assert check_linearizability(History())
+
+    def test_sequential_write_then_read(self):
+        h = h_ops(
+            ("w1", WRITE, "w", 0, 1, b"a"),
+            ("r1", READ, "r", 2, 3, b"a"),
+        )
+        result = check_linearizability(h)
+        assert result
+        assert result.witness == ["w1", "r1"]
+
+    def test_read_initial_value(self):
+        h = h_ops(("r1", READ, "r", 0, 1, b""))
+        assert check_linearizability(h, initial_value=b"")
+
+    def test_read_custom_initial_value(self):
+        h = h_ops(("r1", READ, "r", 0, 1, b"init"))
+        assert check_linearizability(h, initial_value=b"init")
+        assert not check_linearizability(h, initial_value=b"other")
+
+    def test_concurrent_read_may_return_old_or_new(self):
+        for returned in (b"", b"new"):
+            h = h_ops(
+                ("w1", WRITE, "w", 0, 10, b"new"),
+                ("r1", READ, "r", 1, 9, returned),
+            )
+            assert check_linearizability(h, initial_value=b"")
+
+    def test_two_concurrent_writes_any_order(self):
+        h = h_ops(
+            ("w1", WRITE, "w1", 0, 10, b"a"),
+            ("w2", WRITE, "w2", 0, 10, b"b"),
+            ("r1", READ, "r", 11, 12, b"a"),
+        )
+        assert check_linearizability(h)
+
+    def test_incomplete_unobserved_write_ignored(self):
+        h = h_ops(
+            ("w1", WRITE, "w", 0, None, b"ghost"),
+            ("r1", READ, "r", 1, 2, b""),
+        )
+        assert check_linearizability(h, initial_value=b"")
+
+    def test_incomplete_observed_write_must_linearize(self):
+        h = h_ops(
+            ("w1", WRITE, "w", 0, None, b"seen"),
+            ("r1", READ, "r", 5, 6, b"seen"),
+        )
+        assert check_linearizability(h, initial_value=b"")
+
+    def test_interleaved_clients(self):
+        h = h_ops(
+            ("w1", WRITE, "a", 0, 2, b"x"),
+            ("r1", READ, "b", 1, 3, b"x"),
+            ("w2", WRITE, "a", 4, 6, b"y"),
+            ("r2", READ, "b", 5, 8, b"y"),
+            ("r3", READ, "c", 7, 9, b"y"),
+        )
+        assert check_linearizability(h)
+
+
+class TestNonLinearizableHistories:
+    def test_read_of_never_written_value(self):
+        h = h_ops(("r1", READ, "r", 0, 1, b"phantom"))
+        assert not check_linearizability(h, initial_value=b"")
+
+    def test_stale_read_after_write_completed(self):
+        h = h_ops(
+            ("w1", WRITE, "w", 0, 1, b"new"),
+            ("r1", READ, "r", 2, 3, b""),
+        )
+        assert not check_linearizability(h, initial_value=b"")
+
+    def test_new_old_inversion_between_reads(self):
+        """Two sequential reads must not observe values in anti-chronological
+        order: r1 sees the new value, then r2 (after r1) sees the old one."""
+        h = h_ops(
+            ("w1", WRITE, "w", 0, 1, b"old"),
+            ("w2", WRITE, "w", 2, 20, b"new"),
+            ("r1", READ, "a", 3, 5, b"new"),
+            ("r2", READ, "a", 6, 8, b"old"),
+        )
+        assert not check_linearizability(h, initial_value=b"")
+
+    def test_read_of_overwritten_value(self):
+        h = h_ops(
+            ("w1", WRITE, "w", 0, 1, b"a"),
+            ("w2", WRITE, "w", 2, 3, b"b"),
+            ("r1", READ, "r", 4, 5, b"a"),
+        )
+        assert not check_linearizability(h)
+
+    def test_result_reports_reason(self):
+        h = h_ops(("r1", READ, "r", 0, 1, b"phantom"))
+        result = check_linearizability(h)
+        assert not result.ok
+        assert "linearisation" in result.reason
+
+
+class TestPreconditions:
+    def test_duplicate_write_values_rejected(self):
+        h = h_ops(
+            ("w1", WRITE, "a", 0, 1, b"same"),
+            ("w2", WRITE, "b", 2, 3, b"same"),
+        )
+        with pytest.raises(ValueError):
+            check_linearizability(h)

@@ -1,0 +1,234 @@
+"""White-box unit tests of the SODA server automaton (Fig. 5).
+
+These drive a single server's handlers directly (through the simulation, but
+with hand-built messages) and verify the state-transition rules the paper's
+pseudocode prescribes: storing only newer tags, relaying to registered
+readers, the READ-COMPLETE-before-READ-VALUE marker, and unregistration once
+``k`` distinct elements of one tag were sent to a reader.
+"""
+
+import pytest
+
+from repro.core.messages import (
+    MDMeta,
+    MDValueCoded,
+    ReadCompletePayload,
+    ReadDispersePayload,
+    ReadGetRequest,
+    ReadGetResponse,
+    ReadValuePayload,
+    ReadValueResponse,
+    WriteAck,
+    WriteGetRequest,
+    WriteGetResponse,
+)
+from repro.core.soda.server import SodaServer
+from repro.core.tags import TAG_ZERO, Tag
+from repro.erasure.rs import ReedSolomonCode
+from repro.metrics.costs import StorageTracker
+from repro.sim.network import FixedDelay
+from repro.sim.process import Process
+from repro.sim.simulation import Simulation
+
+
+class Probe(Process):
+    """Collects every message delivered to it."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.inbox = []
+
+    def on_message(self, sender, message):
+        self.inbox.append((sender, message))
+
+    def of_type(self, cls):
+        return [m for _, m in self.inbox if isinstance(m, cls)]
+
+
+N, F = 5, 2
+CODE = ReedSolomonCode(N, N - F)
+SERVER_IDS = [f"s{i}" for i in range(N)]
+
+
+def build_server(index=2, tracker=None):
+    """One real server (s<index>) surrounded by probe processes."""
+    sim = Simulation(seed=1, delay_model=FixedDelay(0.1))
+    elements = CODE.encode(b"initial")
+    server = SodaServer(
+        pid=SERVER_IDS[index],
+        index=index,
+        servers_in_order=SERVER_IDS,
+        f=F,
+        code=CODE,
+        initial_element=elements[index],
+        storage_tracker=tracker,
+    )
+    probes = {}
+    for i, pid in enumerate(SERVER_IDS):
+        if i != index:
+            probes[pid] = sim.add_process(Probe(pid))
+    for pid in ("writer", "reader-proc"):
+        probes[pid] = sim.add_process(Probe(pid))
+    sim.add_process(server)
+    return sim, server, probes
+
+
+def deliver(sim, server, sender, message):
+    """Inject a message as if it had arrived over the network."""
+    sim.schedule(0.0, lambda: server.deliver(sender, message))
+    sim.run()
+
+
+def md_value_deliver(sim, server, tag, value, op_id="write:op", origin="writer"):
+    """Drive the md-value-deliver event via a 'coded' primitive message."""
+    element = CODE.encode(value)[server.index]
+    msg = MDValueCoded(
+        mid=(origin, hash((tag.z, tag.writer_id)) % 10_000),
+        tag=tag,
+        element=element,
+        origin=origin,
+        op_id=op_id,
+        data_units=CODE.element_data_units,
+    )
+    deliver(sim, server, origin, msg)
+    return element
+
+
+def register_reader(sim, server, read_id="read:r0:1", tag=TAG_ZERO):
+    payload = ReadValuePayload(reader_pid="reader-proc", read_id=read_id, tag=tag)
+    msg = MDMeta(mid=("reader-proc", hash(read_id) % 10_000), payload=payload,
+                 origin="reader-proc", op_id=read_id)
+    deliver(sim, server, "reader-proc", msg)
+
+
+class TestQueries:
+    def test_write_get_returns_local_tag(self):
+        sim, server, probes = build_server()
+        deliver(sim, server, "writer", WriteGetRequest(op_id="w1"))
+        responses = probes["writer"].of_type(WriteGetResponse)
+        assert len(responses) == 1
+        assert responses[0].tag == TAG_ZERO
+
+    def test_read_get_returns_local_tag(self):
+        sim, server, probes = build_server()
+        md_value_deliver(sim, server, Tag(3, "wx"), b"newer")
+        deliver(sim, server, "reader-proc", ReadGetRequest(op_id="r1"))
+        responses = probes["reader-proc"].of_type(ReadGetResponse)
+        assert responses[-1].tag == Tag(3, "wx")
+
+
+class TestMdValueDeliver:
+    def test_stores_only_newer_tags(self):
+        tracker = StorageTracker()
+        sim, server, probes = build_server(tracker=tracker)
+        md_value_deliver(sim, server, Tag(2, "w"), b"version 2")
+        assert server.tag == Tag(2, "w")
+        md_value_deliver(sim, server, Tag(1, "w"), b"stale version")
+        assert server.tag == Tag(2, "w")  # unchanged
+        # Storage is always exactly one coded element.
+        assert tracker.current_total == pytest.approx(CODE.element_data_units)
+
+    def test_always_acknowledges_writer(self):
+        sim, server, probes = build_server()
+        md_value_deliver(sim, server, Tag(2, "w"), b"v2", op_id="write:a")
+        md_value_deliver(sim, server, Tag(1, "w"), b"v1", op_id="write:b")
+        acks = probes["writer"].of_type(WriteAck)
+        assert {a.op_id for a in acks} == {"write:a", "write:b"}
+        assert all(a.server_index == server.index for a in acks)
+
+    def test_relays_to_registered_reader_with_suitable_tag(self):
+        sim, server, probes = build_server()
+        register_reader(sim, server, read_id="read:r0:1", tag=Tag(1, "w"))
+        md_value_deliver(sim, server, Tag(2, "w"), b"concurrent write")
+        relayed = probes["reader-proc"].of_type(ReadValueResponse)
+        assert any(r.tag == Tag(2, "w") for r in relayed)
+
+    def test_does_not_relay_older_tag_than_requested(self):
+        sim, server, probes = build_server()
+        register_reader(sim, server, read_id="read:r0:1", tag=Tag(5, "z"))
+        before = len(probes["reader-proc"].of_type(ReadValueResponse))
+        md_value_deliver(sim, server, Tag(2, "w"), b"too old for this reader")
+        after = len(probes["reader-proc"].of_type(ReadValueResponse))
+        assert before == after
+
+
+class TestReadValueRegistration:
+    def test_registration_sends_local_element_when_tag_sufficient(self):
+        sim, server, probes = build_server()
+        register_reader(sim, server, tag=TAG_ZERO)
+        responses = probes["reader-proc"].of_type(ReadValueResponse)
+        assert len(responses) == 1
+        assert responses[0].tag == TAG_ZERO
+        assert responses[0].element.index == server.index
+        assert "read:r0:1" in server.registered_readers
+
+    def test_registration_without_sending_when_tag_too_small(self):
+        sim, server, probes = build_server()
+        register_reader(sim, server, tag=Tag(7, "future"))
+        assert probes["reader-proc"].of_type(ReadValueResponse) == []
+        assert "read:r0:1" in server.registered_readers
+
+    def test_read_complete_before_read_value_blocks_registration(self):
+        """The paper's marker mechanism (note 2 of Section IV)."""
+        sim, server, probes = build_server()
+        complete = MDMeta(
+            mid=("reader-proc", 77),
+            payload=ReadCompletePayload(reader_pid="reader-proc", read_id="read:r0:1", tag=TAG_ZERO),
+            origin="reader-proc",
+            op_id="read:r0:1",
+        )
+        deliver(sim, server, "reader-proc", complete)
+        assert (TAG_ZERO, server.index, "read:r0:1") in server.history_entries
+        register_reader(sim, server, read_id="read:r0:1", tag=TAG_ZERO)
+        assert "read:r0:1" not in server.registered_readers
+        assert probes["reader-proc"].of_type(ReadValueResponse) == []
+
+    def test_read_complete_unregisters_and_purges(self):
+        sim, server, probes = build_server()
+        register_reader(sim, server)
+        assert server.registered_readers
+        complete = MDMeta(
+            mid=("reader-proc", 78),
+            payload=ReadCompletePayload(reader_pid="reader-proc", read_id="read:r0:1", tag=TAG_ZERO),
+            origin="reader-proc",
+            op_id="read:r0:1",
+        )
+        deliver(sim, server, "reader-proc", complete)
+        assert server.registered_readers == {}
+        assert all(e[2] != "read:r0:1" for e in server.history_entries)
+
+
+class TestReadDisperse:
+    def test_unregisters_after_k_distinct_elements(self):
+        sim, server, probes = build_server()
+        register_reader(sim, server, tag=Tag(1, "w"))
+        tag = Tag(1, "w")
+        # READ-DISPERSE notifications from k different servers for this tag.
+        for src in range(CODE.k):
+            payload = ReadDispersePayload(tag=tag, server_index=src, read_id="read:r0:1")
+            msg = MDMeta(mid=(f"s{src}", 100 + src), payload=payload,
+                         origin=f"s{src}", op_id="read:r0:1")
+            deliver(sim, server, f"s{src}", msg)
+        assert "read:r0:1" not in server.registered_readers
+        assert all(e[2] != "read:r0:1" for e in server.history_entries)
+
+    def test_fewer_than_k_keeps_reader_registered(self):
+        sim, server, probes = build_server()
+        register_reader(sim, server, tag=Tag(1, "w"))
+        tag = Tag(1, "w")
+        for src in range(CODE.k - 1):
+            payload = ReadDispersePayload(tag=tag, server_index=src, read_id="read:r0:1")
+            msg = MDMeta(mid=(f"s{src}", 200 + src), payload=payload,
+                         origin=f"s{src}", op_id="read:r0:1")
+            deliver(sim, server, f"s{src}", msg)
+        assert "read:r0:1" in server.registered_readers
+
+    def test_entries_for_unregistered_reader_are_accumulated(self):
+        """Entries arriving before registration are kept so the server can
+        unregister the reader promptly once it does register (note 1)."""
+        sim, server, probes = build_server()
+        payload = ReadDispersePayload(tag=Tag(1, "w"), server_index=0, read_id="read:r9:1")
+        msg = MDMeta(mid=("s0", 300), payload=payload, origin="s0", op_id="read:r9:1")
+        deliver(sim, server, "s0", msg)
+        assert (Tag(1, "w"), 0, "read:r9:1") in server.history_entries
+        assert "read:r9:1" not in server.registered_readers

@@ -1,0 +1,125 @@
+"""Tests for GF(2^8) matrix algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import matrix as gfm
+from repro.erasure.gf import default_field
+
+FIELD = default_field()
+
+
+def random_invertible(rng, n):
+    """Rejection-sample an invertible n x n matrix."""
+    while True:
+        A = rng.integers(0, 256, size=(n, n), dtype=np.uint8)
+        try:
+            gfm.gauss_jordan_invert(FIELD, A)
+            return A
+        except gfm.SingularMatrixError:
+            continue
+
+
+class TestInversion:
+    def test_identity_inverse(self):
+        I = gfm.identity(4)
+        assert np.array_equal(gfm.gauss_jordan_invert(FIELD, I), I)
+
+    def test_singular_matrix_raises(self):
+        A = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(gfm.SingularMatrixError):
+            gfm.gauss_jordan_invert(FIELD, A)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(gfm.SingularMatrixError):
+            gfm.gauss_jordan_invert(FIELD, np.zeros((3, 3), dtype=np.uint8))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            gfm.gauss_jordan_invert(FIELD, np.zeros((2, 3), dtype=np.uint8))
+
+    @given(n=st.integers(min_value=1, max_value=8), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_roundtrip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        A = random_invertible(rng, n)
+        A_inv = gfm.gauss_jordan_invert(FIELD, A)
+        assert np.array_equal(FIELD.matmul(A, A_inv), gfm.identity(n))
+        assert np.array_equal(FIELD.matmul(A_inv, A), gfm.identity(n))
+
+
+class TestSolve:
+    def test_solve_vector(self):
+        rng = np.random.default_rng(7)
+        A = random_invertible(rng, 5)
+        x = rng.integers(0, 256, size=5, dtype=np.uint8)
+        b = FIELD.matmul(A, x[:, None])[:, 0]
+        solved = gfm.solve(FIELD, A, b)
+        assert np.array_equal(solved, x)
+
+    def test_solve_matrix_rhs(self):
+        rng = np.random.default_rng(8)
+        A = random_invertible(rng, 4)
+        X = rng.integers(0, 256, size=(4, 6), dtype=np.uint8)
+        B = FIELD.matmul(A, X)
+        solved = gfm.solve(FIELD, A, B)
+        assert np.array_equal(solved, X)
+
+
+class TestRank:
+    def test_rank_identity(self):
+        assert gfm.rank(FIELD, gfm.identity(5)) == 5
+
+    def test_rank_zero(self):
+        assert gfm.rank(FIELD, np.zeros((3, 4), dtype=np.uint8)) == 0
+
+    def test_rank_duplicate_rows(self):
+        A = np.array([[1, 2, 3], [1, 2, 3], [0, 1, 0]], dtype=np.uint8)
+        assert gfm.rank(FIELD, A) == 2
+
+
+class TestVandermonde:
+    def test_shape_and_first_column(self):
+        V = gfm.vandermonde(FIELD, 5, 3)
+        assert V.shape == (5, 3)
+        assert np.all(V[:, 0] == 1)
+
+    def test_distinct_points_required(self):
+        with pytest.raises(ValueError):
+            gfm.vandermonde(FIELD, 3, 2, xs=[1, 1, 2])
+
+    def test_wrong_point_count(self):
+        with pytest.raises(ValueError):
+            gfm.vandermonde(FIELD, 3, 2, xs=[1, 2])
+
+    def test_square_vandermonde_invertible(self):
+        V = gfm.vandermonde(FIELD, 6, 6)
+        gfm.gauss_jordan_invert(FIELD, V)  # must not raise
+
+
+class TestSystematicGenerator:
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 3), (7, 4), (10, 5), (9, 9), (6, 1)])
+    def test_systematic_prefix(self, n, k):
+        G = gfm.systematic_generator(FIELD, n, k)
+        assert G.shape == (k, n)
+        assert np.array_equal(G[:, :k], gfm.identity(k))
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (6, 3), (8, 4)])
+    def test_mds_property_every_k_columns_invertible(self, n, k):
+        """Every k x k column submatrix must be invertible (MDS property)."""
+        from itertools import combinations
+
+        G = gfm.systematic_generator(FIELD, n, k)
+        for cols in combinations(range(n), k):
+            sub = G[:, list(cols)]
+            gfm.gauss_jordan_invert(FIELD, sub)  # must not raise
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            gfm.systematic_generator(FIELD, 3, 4)
+        with pytest.raises(ValueError):
+            gfm.systematic_generator(FIELD, 300, 4)
+        with pytest.raises(ValueError):
+            gfm.systematic_generator(FIELD, 4, 0)

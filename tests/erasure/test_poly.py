@@ -1,0 +1,127 @@
+"""Tests for polynomial arithmetic over GF(2^8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import poly
+from repro.erasure.gf import default_field
+
+FIELD = default_field()
+
+coeff = st.integers(min_value=0, max_value=255)
+polynomials = st.lists(coeff, min_size=1, max_size=12)
+
+
+class TestBasics:
+    def test_normalize_strips_leading_zeros(self):
+        assert poly.normalize([0, 0, 1, 2]) == [1, 2]
+        assert poly.normalize([0, 0, 0]) == [0]
+        assert poly.normalize([]) == [0]
+
+    def test_degree(self):
+        assert poly.degree([0]) == -1
+        assert poly.degree([5]) == 0
+        assert poly.degree([1, 0, 0]) == 2
+        assert poly.degree([0, 1, 0]) == 1
+
+    def test_is_zero(self):
+        assert poly.is_zero([0, 0])
+        assert not poly.is_zero([0, 1])
+
+    def test_monomial(self):
+        assert poly.monomial(3, 7) == [7, 0, 0, 0]
+        with pytest.raises(ValueError):
+            poly.monomial(-1)
+
+    def test_add_xor_semantics(self):
+        assert poly.add([1, 2, 3], [1, 2, 3]) == [0]
+        assert poly.add([1, 0], [1]) == [1, 1]
+
+    def test_evaluate_constant_and_linear(self):
+        assert poly.evaluate(FIELD, [7], 100) == 7
+        # p(x) = x + 5 at x=3 -> 3 ^ 5 = 6
+        assert poly.evaluate(FIELD, [1, 5], 3) == 6
+
+    def test_scale(self):
+        assert poly.scale(FIELD, [1, 2], 0) == [0]
+        assert poly.scale(FIELD, [1, 2], 1) == [1, 2]
+
+
+class TestMulDiv:
+    def test_mul_by_zero(self):
+        assert poly.mul(FIELD, [0], [1, 2, 3]) == [0]
+
+    def test_mul_known(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2^m)
+        assert poly.mul(FIELD, [1, 1], [1, 1]) == [1, 0, 1]
+
+    def test_divmod_exact(self):
+        q_expected = [3, 7]
+        divisor = [1, 4, 9]
+        product = poly.mul(FIELD, q_expected, divisor)
+        q, r = poly.divmod_poly(FIELD, product, divisor)
+        assert q == q_expected
+        assert r == [0]
+
+    def test_divmod_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly.divmod_poly(FIELD, [1, 2], [0])
+
+    def test_divmod_smaller_dividend(self):
+        q, r = poly.divmod_poly(FIELD, [5], [1, 0, 0])
+        assert q == [0]
+        assert r == [5]
+
+    @given(p=polynomials, q=polynomials)
+    @settings(max_examples=150)
+    def test_divmod_reconstruction(self, p, q):
+        """p = q * quot + rem and deg(rem) < deg(q) whenever q != 0."""
+        if poly.is_zero(q):
+            return
+        quot, rem = poly.divmod_poly(FIELD, p, q)
+        reconstructed = poly.add(poly.mul(FIELD, quot, q), rem)
+        assert poly.normalize(reconstructed) == poly.normalize(p)
+        assert poly.degree(rem) < poly.degree(q) or poly.is_zero(rem)
+
+    @given(p=polynomials, q=polynomials, x=coeff)
+    @settings(max_examples=150)
+    def test_mul_evaluation_homomorphism(self, p, q, x):
+        lhs = poly.evaluate(FIELD, poly.mul(FIELD, p, q), x)
+        rhs = FIELD.mul(poly.evaluate(FIELD, p, x), poly.evaluate(FIELD, q, x))
+        assert lhs == rhs
+
+    @given(p=polynomials, q=polynomials, x=coeff)
+    @settings(max_examples=150)
+    def test_add_evaluation_homomorphism(self, p, q, x):
+        lhs = poly.evaluate(FIELD, poly.add(p, q), x)
+        rhs = poly.evaluate(FIELD, p, x) ^ poly.evaluate(FIELD, q, x)
+        assert lhs == rhs
+
+
+class TestRootsAndDerivative:
+    def test_from_roots_has_those_roots(self):
+        roots = [1, 2, 3, 77]
+        p = poly.from_roots(FIELD, roots)
+        assert poly.degree(p) == len(roots)
+        for r in roots:
+            assert poly.evaluate(FIELD, p, r) == 0
+        # A non-root should not evaluate to zero.
+        assert poly.evaluate(FIELD, p, 5) != 0
+
+    def test_from_roots_empty(self):
+        assert poly.from_roots(FIELD, []) == [1]
+
+    def test_derivative_char2(self):
+        # d/dx (x^3 + a x^2 + b x + c) = 3x^2 + 2a x + b = x^2 + b in char 2.
+        p = [1, 7, 9, 4]  # x^3 + 7x^2 + 9x + 4
+        assert poly.derivative(p) == [1, 0, 9]
+
+    def test_derivative_constant(self):
+        assert poly.derivative([5]) == [0]
+        assert poly.derivative([0]) == [0]
+
+    def test_mod_is_remainder(self):
+        p = [1, 0, 0, 0, 1]
+        d = [1, 1]
+        assert poly.mod(FIELD, p, d) == poly.divmod_poly(FIELD, p, d)[1]

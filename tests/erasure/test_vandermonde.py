@@ -1,0 +1,122 @@
+"""Tests for the Vandermonde matrix-based MDS code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.mds import CodedElement, DecodingError, corrupt
+from repro.erasure.vandermonde import VandermondeCode
+
+
+def pick(elements, indices):
+    return [el for el in elements if el.index in set(indices)]
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("n,k", [(4, 2), (6, 3), (8, 4), (5, 5), (7, 1)])
+    def test_roundtrip_all_k_subsets(self, n, k):
+        from itertools import combinations
+
+        code = VandermondeCode(n, k)
+        value = bytes(np.random.default_rng(5).integers(0, 256, size=64, dtype=np.uint8))
+        elements = code.encode(value)
+        assert len(elements) == n
+        for subset in combinations(range(n), k):
+            assert code.decode(pick(elements, subset)) == value
+
+    def test_systematic_prefix(self):
+        code = VandermondeCode(6, 3)
+        value = b"systematic check!"
+        elements = code.encode(value)
+        framed = b"".join(el.data for el in elements[:3])
+        assert framed[4 : 4 + len(value)] == value
+
+    def test_insufficient_elements(self):
+        code = VandermondeCode(6, 3)
+        elements = code.encode(b"abc")
+        with pytest.raises(DecodingError):
+            code.decode(elements[:2])
+
+    def test_inconsistent_sizes(self):
+        code = VandermondeCode(6, 3)
+        elements = code.encode(b"abcdef")
+        bad = [elements[0], elements[1], CodedElement(2, elements[2].data + b"!")]
+        with pytest.raises(DecodingError):
+            code.decode(bad)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            VandermondeCode(256, 3)
+        with pytest.raises(ValueError):
+            VandermondeCode(3, 4)
+
+    def test_generator_matrix_shape(self):
+        code = VandermondeCode(7, 3)
+        G = code.generator_matrix
+        assert G.shape == (3, 7)
+        assert np.array_equal(G[:, :3], np.eye(3, dtype=np.uint8))
+
+
+class TestDecodeWithErrors:
+    def test_single_error(self):
+        code = VandermondeCode(6, 2)
+        value = b"tolerate one corrupted element"
+        elements = code.encode(value)
+        received = [corrupt(el) if el.index == 3 else el for el in elements]
+        assert code.decode_with_errors(received, max_errors=1) == value
+
+    def test_errors_and_erasures(self):
+        code = VandermondeCode(10, 4)
+        value = b"errors plus erasures"
+        elements = code.encode(value)
+        # Keep k + 2e = 8 elements, corrupt 2 of them.
+        present = pick(elements, range(8))
+        received = [corrupt(el) if el.index in (1, 5) else el for el in present]
+        assert code.decode_with_errors(received, max_errors=2) == value
+
+    def test_zero_errors(self):
+        code = VandermondeCode(6, 3)
+        value = b"no errors"
+        elements = code.encode(value)
+        assert code.decode_with_errors(elements[:3], max_errors=0) == value
+
+    def test_insufficient_for_error_tolerance(self):
+        code = VandermondeCode(6, 3)
+        elements = code.encode(b"abc")
+        with pytest.raises(DecodingError):
+            code.decode_with_errors(elements[:4], max_errors=1)
+
+    def test_negative_errors(self):
+        code = VandermondeCode(6, 3)
+        with pytest.raises(ValueError):
+            code.decode_with_errors(code.encode(b"x"), max_errors=-2)
+
+    def test_too_many_errors_raises(self):
+        code = VandermondeCode(6, 2)
+        value = b"overwhelmed"
+        elements = code.encode(value)
+        received = [corrupt(el) if el.index in (0, 1, 2) else el for el in elements]
+        with pytest.raises(DecodingError):
+            code.decode_with_errors(received, max_errors=1)
+
+    def test_out_of_range_index(self):
+        code = VandermondeCode(6, 2)
+        elements = code.encode(b"abc")
+        bad = elements[:5] + [CodedElement(index=77, data=elements[5].data)]
+        with pytest.raises(DecodingError):
+            code.decode_with_errors(bad, max_errors=1)
+
+    @given(
+        value=st.binary(min_size=0, max_size=150),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, value, seed):
+        code = VandermondeCode(8, 3)
+        rng = np.random.default_rng(seed)
+        elements = code.encode(value)
+        n_errors = int(rng.integers(0, 3))
+        bad = set(rng.choice(8, size=n_errors, replace=False)) if n_errors else set()
+        received = [corrupt(el) if el.index in bad else el for el in elements]
+        assert code.decode_with_errors(received, max_errors=2) == value

@@ -1,0 +1,85 @@
+"""Tests for communication and storage cost tracking."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.metrics.costs import CommunicationCostTracker, StorageTracker
+from repro.sim.network import MessageRecord
+from repro.sim.process import Process
+from repro.sim.simulation import Simulation
+
+
+@dataclass
+class Msg:
+    data_units: float = 0.0
+    op_id: object = None
+
+
+def record(units, op):
+    return MessageRecord(src="a", dst="b", payload=Msg(units, op), sent_at=0.0)
+
+
+class TestCommunicationCostTracker:
+    def test_attribution(self):
+        t = CommunicationCostTracker()
+        t.record(record(1.0, "op1"))
+        t.record(record(0.5, "op1"))
+        t.record(record(0.25, "op2"))
+        t.record(record(0.0, "op2"))
+        assert t.cost_of("op1") == pytest.approx(1.5)
+        assert t.cost_of("op2") == pytest.approx(0.25)
+        assert t.messages_of("op2") == 2
+        assert t.total_data_units == pytest.approx(1.75)
+
+    def test_unattributed(self):
+        t = CommunicationCostTracker()
+        t.record(record(2.0, None))
+        assert t.unattributed_data_units == 2.0
+        assert t.cost_of("anything") == 0.0
+        assert t.costs() == {}
+
+    def test_unknown_operation_is_zero(self):
+        assert CommunicationCostTracker().cost_of("nope") == 0.0
+
+    def test_attach_to_network(self):
+        class Sink(Process):
+            def on_message(self, sender, message):
+                pass
+
+        sim = Simulation(seed=0)
+        tracker = CommunicationCostTracker().attach(sim.network)
+        a, b = sim.add_processes([Sink("a"), Sink("b")])
+        sim.schedule(0.0, lambda: a.send("b", Msg(0.75, "op9")))
+        sim.run()
+        assert tracker.cost_of("op9") == pytest.approx(0.75)
+
+
+class TestStorageTracker:
+    def test_peak_tracking(self):
+        t = StorageTracker()
+        t.update("s1", 0.5, time=0.0)
+        t.update("s2", 0.5, time=1.0)
+        assert t.current_total == pytest.approx(1.0)
+        t.update("s1", 2.0, time=2.0)
+        assert t.peak() == pytest.approx(2.5)
+        t.update("s1", 0.0, time=3.0)
+        assert t.current_total == pytest.approx(0.5)
+        assert t.peak() == pytest.approx(2.5)  # peak is sticky
+
+    def test_per_server_view(self):
+        t = StorageTracker()
+        t.update("s1", 0.25)
+        t.update("s2", 0.75)
+        assert t.per_server() == {"s1": 0.25, "s2": 0.75}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StorageTracker().update("s1", -1.0)
+
+    def test_samples_recorded(self):
+        t = StorageTracker()
+        t.update("s1", 1.0, time=1.0)
+        t.update("s1", 2.0, time=5.0)
+        assert [s.time for s in t.samples] == [1.0, 5.0]
+        assert [s.total_units for s in t.samples] == [1.0, 2.0]

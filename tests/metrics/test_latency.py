@@ -1,0 +1,46 @@
+"""Tests for latency statistics."""
+
+import pytest
+
+from repro.consistency.history import READ, WRITE, History
+from repro.metrics.latency import LatencyStats, LatencyTracker
+
+
+class TestLatencyTracker:
+    def test_empty_stats(self):
+        t = LatencyTracker()
+        stats = t.stats()
+        assert stats == LatencyStats.empty()
+        assert stats.count == 0
+
+    def test_record_and_summarize(self):
+        t = LatencyTracker()
+        for d in (1.0, 2.0, 3.0):
+            t.record("write", d)
+        t.record("read", 6.0)
+        writes = t.stats("write")
+        assert writes.count == 3
+        assert writes.min == 1.0
+        assert writes.max == 3.0
+        assert writes.mean == pytest.approx(2.0)
+        combined = t.stats()
+        assert combined.count == 4
+        assert combined.max == 6.0
+        assert t.kinds() == ["read", "write"]
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyTracker().record("write", -0.1)
+
+    def test_record_operations_from_history(self):
+        h = History()
+        h.invoke("w1", WRITE, "w", 0.0, value=b"a")
+        h.respond("w1", 4.0)
+        h.invoke("r1", READ, "r", 1.0)
+        h.respond("r1", 6.0, value=b"a")
+        h.invoke("w2", WRITE, "w", 10.0, value=b"b")  # incomplete, skipped
+        t = LatencyTracker()
+        t.record_operations(h.operations())
+        assert t.stats("write").count == 1
+        assert t.stats("write").max == 4.0
+        assert t.stats("read").max == 5.0

@@ -1,0 +1,81 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("a"))
+        q.push(3.0, lambda: fired.append("c"))
+        while q:
+            q.pop().fire()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for name in "abcde":
+            q.push(1.0, lambda n=name: fired.append(n))
+        while q:
+            q.pop().fire()
+        assert fired == list("abcde")
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.push(1.0, lambda: None)
+        assert q
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(-1.0, lambda: None)
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.peek_time() == 2.0
+
+    def test_cancel(self):
+        q = EventQueue()
+        fired = []
+        ev = q.push(1.0, lambda: fired.append("cancelled"))
+        q.push(2.0, lambda: fired.append("kept"))
+        q.cancel(ev)
+        assert len(q) == 1
+        while q:
+            q.pop().fire()
+        assert fired == ["kept"]
+
+    def test_cancel_then_peek(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(4.0, lambda: None)
+        q.cancel(ev)
+        assert q.peek_time() == 4.0
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.clear()
+        assert len(q) == 0
+
+    def test_event_label(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None, label="hello")
+        assert ev.label == "hello"

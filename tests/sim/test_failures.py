@@ -1,0 +1,121 @@
+"""Tests for crash scheduling and disk-error injection."""
+
+import numpy as np
+import pytest
+
+from repro.sim.failures import CrashSchedule, DiskErrorModel, FailureInjector
+from repro.sim.process import Process
+from repro.sim.simulation import Simulation
+
+
+class Dummy(Process):
+    def on_message(self, sender, message):
+        pass
+
+
+class TestCrashSchedule:
+    def test_add_and_iterate(self):
+        schedule = CrashSchedule().add("s1", 3.0).add("s2", 5.0)
+        assert len(schedule) == 2
+        assert schedule.victims() == ["s1", "s2"]
+        assert [e.time for e in schedule] == [3.0, 5.0]
+
+    def test_random_respects_bound(self):
+        rng = np.random.default_rng(0)
+        candidates = [f"s{i}" for i in range(10)]
+        for _ in range(20):
+            schedule = CrashSchedule.random(candidates, 3, rng)
+            assert len(schedule) <= 3
+            assert set(schedule.victims()) <= set(candidates)
+
+    def test_random_exact(self):
+        rng = np.random.default_rng(0)
+        schedule = CrashSchedule.random([f"s{i}" for i in range(5)], 2, rng, exact=True)
+        assert len(schedule) == 2
+
+    def test_random_too_many(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            CrashSchedule.random(["a"], 2, rng)
+
+    def test_random_time_range(self):
+        rng = np.random.default_rng(0)
+        schedule = CrashSchedule.random(
+            [f"s{i}" for i in range(8)], 8, rng, time_range=(2.0, 4.0), exact=True
+        )
+        assert all(2.0 <= e.time <= 4.0 for e in schedule)
+
+
+class TestFailureInjector:
+    def test_crashes_at_scheduled_time(self):
+        sim = Simulation(seed=0)
+        s1, s2 = sim.add_processes([Dummy("s1"), Dummy("s2")])
+        injector = FailureInjector(sim)
+        injector.apply(CrashSchedule().add("s1", 2.0))
+        sim.schedule(10.0, lambda: None)  # keep the sim alive past the crash
+        sim.run()
+        assert s1.is_crashed and not s2.is_crashed
+
+    def test_crash_at_helper(self):
+        sim = Simulation(seed=0)
+        (s1,) = sim.add_processes([Dummy("s1")])
+        FailureInjector(sim).crash_at("s1", 1.5)
+        sim.run()
+        assert s1.is_crashed
+
+    def test_unknown_victim_rejected(self):
+        sim = Simulation(seed=0)
+        with pytest.raises(ValueError):
+            FailureInjector(sim).apply(CrashSchedule().add("ghost", 1.0))
+
+
+class TestDiskErrorModel:
+    def test_disabled_never_corrupts(self):
+        model = DiskErrorModel.disabled()
+        data = b"hello"
+        assert all(model.read("s1", data) == data for _ in range(100))
+        assert model.errors_injected == 0
+        assert model.reads_seen == 100
+
+    def test_always_corrupts_and_changes_data(self):
+        model = DiskErrorModel(np.random.default_rng(0), error_probability=1.0)
+        data = b"hello"
+        out = model.read("s1", data)
+        assert out != data
+        assert len(out) == len(data)
+        assert model.errors_injected == 1
+
+    def test_empty_data_still_corrupted(self):
+        model = DiskErrorModel(np.random.default_rng(0), error_probability=1.0)
+        assert model.read("s1", b"") != b""
+
+    def test_error_prone_server_restriction(self):
+        model = DiskErrorModel(
+            np.random.default_rng(0),
+            error_probability=1.0,
+            error_prone_servers=["s1"],
+        )
+        assert model.read("s2", b"data") == b"data"
+        assert model.read("s1", b"data") != b"data"
+        assert model.per_server_errors == {"s1": 1}
+
+    def test_max_total_errors_cap(self):
+        model = DiskErrorModel(
+            np.random.default_rng(0), error_probability=1.0, max_total_errors=2
+        )
+        outputs = [model.read("s1", b"data") for _ in range(5)]
+        assert sum(1 for o in outputs if o != b"data") == 2
+        assert model.errors_injected == 2
+
+    def test_probability_roughly_respected(self):
+        model = DiskErrorModel(np.random.default_rng(1), error_probability=0.3)
+        n = 2000
+        corrupted = sum(1 for _ in range(n) if model.read("s", b"x") != b"x")
+        assert 0.2 * n < corrupted < 0.4 * n
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            DiskErrorModel(rng, error_probability=1.5)
+        with pytest.raises(ValueError):
+            DiskErrorModel(rng, error_probability=0.5, xor_mask=0)

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "SODA" in out and "ABD" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--n", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm" in out
+        assert "SODA" in out
+
+    def test_demo_soda(self, capsys):
+        assert main(["demo", "--protocol", "SODA", "--n", "5", "--f", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "storage peak" in out
+        assert "hello from the SODA reproduction" in out
+
+    def test_demo_sodaerr(self, capsys):
+        assert main(["demo", "--protocol", "SODAerr", "--n", "7", "--f", "2"]) == 0
+        assert "SODAerr" in capsys.readouterr().out
+
+    def test_demo_casgc(self, capsys):
+        assert main(["demo", "--protocol", "CASGC", "--n", "6", "--f", "2"]) == 0
+        assert "CASGC" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_storage(self, capsys):
+        assert main(["experiment", "storage", "--n", "6"]) == 0
+        assert "predicted" in capsys.readouterr().out
+
+    def test_read_cost(self, capsys):
+        assert main(["experiment", "read-cost", "--n", "6", "--f", "2"]) == 0
+        assert "bound" in capsys.readouterr().out
+
+    def test_latency(self, capsys):
+        assert main(["experiment", "latency", "--n", "5", "--f", "2"]) == 0
+        assert "write latency" in capsys.readouterr().out
+
+    def test_atomicity_exit_code(self, capsys):
+        assert main(["experiment", "atomicity", "--protocol", "ABD",
+                     "--executions", "1", "--n", "5", "--f", "2"]) == 0
+        assert "linearizable" in capsys.readouterr().out
+
+    def test_tradeoff(self, capsys):
+        assert main(["experiment", "tradeoff"]) == 0
+        assert "CASGC" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "nonsense"]) == 2

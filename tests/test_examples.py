@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are part of the public deliverable; running them in the test
+suite keeps them from bit-rotting as the API evolves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script,args",
+    [
+        ("quickstart.py", []),
+        ("cost_comparison.py", ["4"]),
+        ("fault_tolerance.py", ["7"]),
+        ("error_injection.py", []),
+        ("latency_analysis.py", []),
+    ],
+)
+def test_example_runs(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"

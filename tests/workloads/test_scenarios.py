@@ -1,0 +1,75 @@
+"""Tests for the hand-crafted experiment scenarios."""
+
+import pytest
+
+from repro.baselines.abd import AbdCluster
+from repro.core import SodaCluster
+from repro.workloads.scenarios import (
+    concurrent_read_scenario,
+    crash_heavy_scenario,
+    sequential_scenario,
+)
+
+
+class TestSequentialScenario:
+    def test_counts_and_completion(self):
+        c = SodaCluster(n=5, f=2, seed=0)
+        result = sequential_scenario(c, num_writes=3, num_reads=2, seed=1)
+        assert len(result.writes) == 3
+        assert len(result.reads) == 2
+        assert result.all_complete
+
+    def test_reads_return_last_write(self):
+        c = SodaCluster(n=5, f=2, seed=0)
+        result = sequential_scenario(c, num_writes=2, num_reads=1, seed=2)
+        assert result.reads[0].value == result.writes[-1].value
+
+    def test_zero_reads(self):
+        c = SodaCluster(n=5, f=2, seed=0)
+        result = sequential_scenario(c, num_writes=1, num_reads=0, seed=3)
+        assert result.reads == []
+
+    def test_works_for_baselines(self):
+        c = AbdCluster(n=5, f=2, seed=0)
+        result = sequential_scenario(c, num_writes=2, num_reads=2, seed=4)
+        assert result.all_complete
+
+
+class TestConcurrentReadScenario:
+    def test_read_completes_and_returns_valid_value(self):
+        c = SodaCluster(n=6, f=2, num_writers=2, seed=1)
+        read_op = concurrent_read_scenario(c, concurrent_writes=3, seed=5)
+        assert read_op.is_complete
+        written = {op.value for op in c.history.writes()}
+        assert read_op.value in written | {b""}
+
+    def test_zero_concurrency(self):
+        c = SodaCluster(n=6, f=2, seed=2)
+        read_op = concurrent_read_scenario(c, concurrent_writes=0, seed=6)
+        assert read_op.is_complete
+
+    def test_delta_w_tracks_concurrency_level(self):
+        c = SodaCluster(n=6, f=2, num_writers=3, seed=3)
+        read_op = concurrent_read_scenario(c, concurrent_writes=3, seed=7)
+        assert c.measured_delta_w(read_op.op_id) >= 1
+
+    def test_cost_within_theorem_bound(self):
+        n, f = 6, 2
+        c = SodaCluster(n=n, f=f, num_writers=3, seed=4)
+        read_op = concurrent_read_scenario(c, concurrent_writes=4, seed=8)
+        bound = n / (n - f) * (c.measured_delta_w(read_op.op_id) + 1)
+        assert c.operation_cost(read_op.op_id) <= bound + 1e-9
+
+
+class TestCrashHeavyScenario:
+    def test_operations_complete_despite_crashes(self):
+        c = SodaCluster(n=7, f=3, num_writers=2, num_readers=2, seed=5)
+        result = crash_heavy_scenario(c, seed=9)
+        assert result.all_complete
+        assert len(c.sim.crashed_processes()) == 3
+
+    def test_no_crashes_when_f_zero(self):
+        c = SodaCluster(n=3, f=0, seed=6)
+        result = crash_heavy_scenario(c, num_writes=2, num_reads=2, seed=10)
+        assert result.all_complete
+        assert c.sim.crashed_processes() == []
