@@ -1,0 +1,209 @@
+"""Benchmark runner: (re)generates and validates the committed BENCH_*.json.
+
+Two artefacts track the repository's performance trajectory:
+
+* ``BENCH_erasure.json`` — GF(2^8) kernel / Reed-Solomon codec throughput
+  (see :mod:`bench_gf_kernels`), including the speedup over the seed
+  (mask-based) kernels;
+* ``BENCH_sim.json`` — discrete-event simulation throughput for a
+  randomized SODA workload (events per wall-clock second).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full run,
+        # rewrites BENCH_erasure.json / BENCH_sim.json at the repo root
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI smoke:
+        # seconds-long measurement, validates the committed files' schema and
+        # exits non-zero on a >2x throughput regression vs. the baseline
+
+Both files share one schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "benchmark": "erasure" | "sim",
+      "params":  {...numbers/strings describing the measured setup...},
+      "results": {...metric name -> number...}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_gf_kernels import bench_erasure  # noqa: E402
+
+from repro.core.soda.cluster import SodaCluster  # noqa: E402
+from repro.workloads.generator import WorkloadSpec, run_workload  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: Metrics gated against the committed baseline ("higher is better"); a
+#: quick run falling below half the committed value fails CI.  The erasure
+#: gate uses the table-vs-seed speedup ratio — both codecs run on the same
+#: host, so the ratio is machine-independent, unlike raw MB/s measured on
+#: the committer's machine.  The sim gate pairs the wall-clock rate (2x
+#: tolerance absorbs host variance) with the deterministic completion
+#: ratio, which catches functional regressions on any hardware and is
+#: independent of the quick/full workload size.
+GATED_METRICS = {
+    "erasure": [
+        "encode_speedup_vs_seed",
+        "decode_speedup_vs_seed",
+        "encode_decode_speedup_vs_seed",
+    ],
+    "sim": ["events_per_s", "completion_ratio"],
+}
+REGRESSION_FACTOR = 2.0
+
+
+def bench_sim(*, quick: bool = False, seed: int = 7) -> Dict[str, object]:
+    """Simulation throughput: one randomized SODA workload, wall-clocked."""
+    ops = 10 if quick else 40
+    cluster = SodaCluster(
+        n=5, f=2, num_writers=2, num_readers=2, seed=seed, initial_value=b"v0"
+    )
+    spec = WorkloadSpec(
+        writes_per_writer=ops,
+        reads_per_reader=ops,
+        window=float(4 * ops),
+        value_size=1024,
+        seed=seed,
+    )
+    start = time.perf_counter()
+    result = run_workload(cluster, spec)
+    wall = time.perf_counter() - start
+    events = cluster.sim.events_processed
+    scheduled = 2 * ops + 2 * ops  # writes + reads across both client pairs
+    return {
+        "params": {
+            "n": 5,
+            "f": 2,
+            "num_writers": 2,
+            "num_readers": 2,
+            "writes_per_writer": ops,
+            "reads_per_reader": ops,
+            "value_size_bytes": spec.value_size,
+            "seed": seed,
+        },
+        "results": {
+            "events": float(events),
+            "wall_s": wall,
+            "events_per_s": events / wall,
+            "completed_operations": float(result.completed_operations),
+            "completion_ratio": result.completed_operations / scheduled,
+            "operations_per_s": result.completed_operations / wall,
+        },
+    }
+
+
+def make_payload(benchmark: str, measurement: Dict[str, object]) -> Dict[str, object]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "params": measurement["params"],
+        "results": measurement["results"],
+    }
+
+
+def validate_schema(payload: object, *, expected_benchmark: str) -> None:
+    """Raise ``ValueError`` if ``payload`` is not a valid BENCH_*.json body."""
+    if not isinstance(payload, dict):
+        raise ValueError("payload must be a JSON object")
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version must be {SCHEMA_VERSION}, got {payload.get('schema_version')!r}"
+        )
+    if payload.get("benchmark") != expected_benchmark:
+        raise ValueError(
+            f"benchmark must be {expected_benchmark!r}, got {payload.get('benchmark')!r}"
+        )
+    for section in ("params", "results"):
+        if not isinstance(payload.get(section), dict):
+            raise ValueError(f"missing or non-object {section!r} section")
+    for key, value in payload["results"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"results[{key!r}] must be a number, got {value!r}")
+
+
+def check_regressions(
+    benchmark: str, baseline: Dict[str, object], current: Dict[str, object]
+) -> list:
+    """Compare gated throughput metrics; returns a list of failure strings."""
+    failures = []
+    for metric in GATED_METRICS[benchmark]:
+        base = baseline["results"].get(metric)
+        now = current["results"].get(metric)
+        if base is None or now is None:
+            failures.append(f"{benchmark}: metric {metric!r} missing")
+            continue
+        if now * REGRESSION_FACTOR < base:
+            failures.append(
+                f"{benchmark}: {metric} regressed >{REGRESSION_FACTOR}x "
+                f"(baseline {base:.2f}, current {now:.2f})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fast measurement, validate committed BENCH_*.json "
+        "and fail on a >2x regression instead of rewriting the baselines",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="where BENCH_*.json files live (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    benchmarks = {
+        "erasure": lambda: bench_erasure(quick=args.quick),
+        "sim": lambda: bench_sim(quick=args.quick),
+    }
+
+    failures = []
+    for name, runner in benchmarks.items():
+        path = args.output_dir / f"BENCH_{name}.json"
+        print(f"[bench] running {name} ({'quick' if args.quick else 'full'}) ...")
+        payload = make_payload(name, runner())
+        for metric in GATED_METRICS[name]:
+            print(f"[bench]   {metric} = {payload['results'][metric]:.2f}")
+        if args.quick:
+            if not path.exists():
+                failures.append(f"{name}: committed baseline {path.name} is missing")
+                continue
+            try:
+                baseline = json.loads(path.read_text())
+                validate_schema(baseline, expected_benchmark=name)
+            except ValueError as exc:
+                failures.append(f"{name}: invalid baseline {path.name}: {exc}")
+                continue
+            failures.extend(check_regressions(name, baseline, payload))
+        else:
+            validate_schema(payload, expected_benchmark=name)
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            print(f"[bench] wrote {path}")
+
+    if failures:
+        for failure in failures:
+            print(f"[bench] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("[bench] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

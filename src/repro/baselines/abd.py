@@ -294,6 +294,9 @@ class AbdCluster(RegisterCluster):
     """An ``n``-replica ABD deployment tolerating ``f <= (n-1)/2`` crashes."""
 
     protocol_name = "ABD"
+    # ABD writers ship the full value; nothing reads the shared encoder
+    # cache, so pre-encoding workload batches would be pure waste.
+    warm_encoding_effective = False
 
     def _build_code(self) -> MDSCode:
         # Replication is the degenerate [n, 1] code; it is used only for the

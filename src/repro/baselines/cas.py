@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.consistency.history import READ, WRITE, History
 from repro.core.tags import TAG_ZERO, Tag, max_tag
+from repro.erasure.batch import CachedEncoder
 from repro.erasure.mds import CodedElement, MDSCode
 from repro.erasure.rs import ReedSolomonCode
 from repro.metrics.costs import StorageTracker
@@ -229,12 +230,14 @@ class CasWriter(Process):
         code: MDSCode,
         quorum_size: int,
         history: Optional[History] = None,
+        encoder: Optional[CachedEncoder] = None,
     ) -> None:
         super().__init__(pid)
         self.servers = list(servers)
         self.code = code
         self.quorum = quorum_size
         self.history = history
+        self.encoder = encoder
         self._current: Optional[_CasWrite] = None
         self._op_counter = 0
         self.completed_writes: List[str] = []
@@ -272,7 +275,11 @@ class CasWriter(Process):
                 return
             op.tag = max_tag(op.query_responses.values()).next_for(str(self.pid))
             op.phase = "prewrite"
-            elements = self.code.encode(op.value)
+            elements = (
+                self.encoder.encode(op.value)
+                if self.encoder is not None
+                else self.code.encode(op.value)
+            )
             for idx, s in enumerate(self.servers):
                 self.send(
                     s,
@@ -453,7 +460,12 @@ class CasCluster(RegisterCluster):
 
     def _make_writer(self, pid: str) -> CasWriter:
         return CasWriter(
-            pid, self.server_ids, self.code, self.quorum_size, history=self.history
+            pid,
+            self.server_ids,
+            self.code,
+            self.quorum_size,
+            history=self.history,
+            encoder=self.encoder,
         )
 
     def _make_reader(self, pid: str) -> CasReader:

@@ -38,6 +38,7 @@ from repro.core.messages import (
     MessageId,
 )
 from repro.core.tags import Tag
+from repro.erasure.batch import CachedEncoder
 from repro.erasure.mds import CodedElement, MDSCode
 from repro.sim.process import Process
 
@@ -124,6 +125,12 @@ class MDServerEngine:
     on_meta_deliver:
         Callback ``(payload, origin, op_id)`` fired exactly once per
         md-meta-send whose message reaches this server.
+    encoder:
+        Optional :class:`~repro.erasure.batch.CachedEncoder` shared across
+        the cluster's servers.  Every server of the dispersal set encodes
+        the *same* value for the same md-value-send, so a shared memoized
+        encoder collapses those ``f + 1`` encodes into one (and lets
+        workload drivers pre-encode whole batches up front).
     """
 
     def __init__(
@@ -135,12 +142,14 @@ class MDServerEngine:
         code: MDSCode,
         on_value_deliver: Callable[[Tag, CodedElement, str, str], None],
         on_meta_deliver: Callable[[object, str, str], None],
+        encoder: Optional[CachedEncoder] = None,
     ) -> None:
         self._server = server
         self._index = server_index
         self._servers = list(servers_in_order)
         self._f = f
         self._code = code
+        self._encoder = encoder
         self._on_value_deliver = on_value_deliver
         self._on_meta_deliver = on_meta_deliver
         # Per-mid bookkeeping: which mids this server has already forwarded /
@@ -183,7 +192,10 @@ class MDServerEngine:
             return
         self._value_forwarded.add(message.mid)
         dispersal = self._dispersal_set()
-        elements = self._code.encode(message.value)
+        if self._encoder is not None:
+            elements = self._encoder.encode(message.value)
+        else:
+            elements = self._code.encode(message.value)
         # Forward the full message to the later servers of the dispersal set.
         if self._server.pid in dispersal:
             my_pos = dispersal.index(self._server.pid)

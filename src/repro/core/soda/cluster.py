@@ -60,6 +60,7 @@ class SodaCluster(RegisterCluster):
             storage_tracker=self.storage,
             disk_error_model=self._disk_error_model(),
             unregister_threshold=self._unregister_threshold(),
+            encoder=self.encoder,
         )
 
     def _make_writer(self, pid: str) -> SodaWriter:

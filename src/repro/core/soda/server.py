@@ -34,6 +34,7 @@ from repro.core.messages import (
     WriteGetResponse,
 )
 from repro.core.tags import TAG_ZERO, Tag
+from repro.erasure.batch import CachedEncoder
 from repro.erasure.mds import CodedElement, MDSCode
 from repro.metrics.costs import StorageTracker
 from repro.sim.failures import DiskErrorModel
@@ -77,6 +78,10 @@ class SodaServer(Process):
         Number of distinct coded elements (for one tag) that must have been
         sent to a registered reader before the server stops relaying to it
         (``k`` for SODA, ``k + 2e`` for SODAerr).
+    encoder:
+        Optional cluster-shared :class:`~repro.erasure.batch.CachedEncoder`
+        handed to the MD-VALUE engine so dispersal-set servers do not each
+        re-encode the same value.
     """
 
     def __init__(
@@ -92,6 +97,7 @@ class SodaServer(Process):
         storage_tracker: Optional[StorageTracker] = None,
         disk_error_model: Optional[DiskErrorModel] = None,
         unregister_threshold: Optional[int] = None,
+        encoder: Optional[CachedEncoder] = None,
     ) -> None:
         super().__init__(pid)
         self.index = index
@@ -102,6 +108,11 @@ class SodaServer(Process):
         self.element: Optional[CodedElement] = initial_element
         self.registered: Dict[str, RegisteredReader] = {}
         self.history_set: Set[Tuple[Tag, int, str]] = set()
+        # Reads whose READ-COMPLETE overtook their READ-VALUE registration.
+        # Kept separate from the genuine history entries: a (TAG_ZERO, index,
+        # read_id) sentinel in ``history_set`` would collide with the real
+        # entry recorded when the initial value (tag TAG_ZERO) is relayed.
+        self.completed_reads: Set[str] = set()
         self.storage_tracker = storage_tracker
         self.disk_errors = disk_error_model or DiskErrorModel.disabled()
         self.unregister_threshold = (
@@ -115,6 +126,7 @@ class SodaServer(Process):
             code=code,
             on_value_deliver=self._on_md_value_deliver,
             on_meta_deliver=self._on_md_meta_deliver,
+            encoder=encoder,
         )
         self._md_sender: Optional[MDSender] = None
         # Counters exposed for tests and experiments.
@@ -197,10 +209,10 @@ class SodaServer(Process):
             self._on_read_disperse(payload)
 
     def _on_read_value(self, payload: ReadValuePayload) -> None:
-        marker = (TAG_ZERO, self.index, payload.read_id)
-        if marker in self.history_set:
+        if payload.read_id in self.completed_reads:
             # The READ-COMPLETE for this read has already been processed
             # (it overtook the registration request); do not register.
+            self.completed_reads.discard(payload.read_id)
             self._drop_history_for(payload.read_id)
             return
         reg = RegisteredReader(
@@ -217,10 +229,13 @@ class SodaServer(Process):
             del self.registered[payload.read_id]
             self.unregistration_times[payload.read_id] = self.now
             self._drop_history_for(payload.read_id)
-        else:
-            # Registration has not arrived yet; leave a marker so that the
-            # late READ-VALUE does not (re-)register the reader.
-            self.history_set.add((TAG_ZERO, self.index, payload.read_id))
+        elif payload.read_id not in self.unregistration_times:
+            # Registration has not arrived yet; remember the completion so
+            # that the late READ-VALUE does not (re-)register the reader.
+            # (If this server already unregistered the read via the relay
+            # threshold, its READ-VALUE was processed long ago and will not
+            # recur — adding a marker then would leak one entry per read.)
+            self.completed_reads.add(payload.read_id)
 
     def _on_read_disperse(self, payload: ReadDispersePayload) -> None:
         self.history_set.add((payload.tag, payload.server_index, payload.read_id))

@@ -23,12 +23,19 @@ This package implements everything needed from scratch:
   backend (systematic Vandermonde generator matrix), used to cross-check
   the Reed–Solomon implementation and as a simple erasure-only code.
 * :mod:`repro.erasure.mds` — the :class:`~repro.erasure.mds.MDSCode`
-  interface shared by all protocol implementations.
+  interface shared by all protocol implementations, including the batched
+  ``encode_many`` / ``decode_many`` pipeline.
+* :mod:`repro.erasure.linear` — shared matrix-code machinery (one-matmul
+  encoding, LRU-cached erasure decoding, wide-stripe batch variants).
+* :mod:`repro.erasure.batch` — the memoizing/batch-warming
+  :class:`~repro.erasure.batch.CachedEncoder` shared by a cluster's servers.
 * :mod:`repro.erasure.replication` — the trivial ``[n, 1]`` replication
   "code" used by the ABD baseline.
 """
 
+from repro.erasure.batch import CachedEncoder
 from repro.erasure.gf import GF256
+from repro.erasure.linear import LinearCode
 from repro.erasure.mds import CodedElement, MDSCode, DecodingError
 from repro.erasure.rs import ReedSolomonCode
 from repro.erasure.vandermonde import VandermondeCode
@@ -36,7 +43,9 @@ from repro.erasure.replication import ReplicationCode
 
 __all__ = [
     "GF256",
+    "CachedEncoder",
     "CodedElement",
+    "LinearCode",
     "MDSCode",
     "DecodingError",
     "ReedSolomonCode",

@@ -2,10 +2,11 @@
 
 The Reed–Solomon codes used throughout this reproduction operate symbol-wise
 over GF(2^8) with the AES/Rijndael reduction polynomial
-``x^8 + x^4 + x^3 + x + 1`` (0x11B).  The field is small enough that full
-exponential/logarithm tables make every operation a table lookup, and numpy
-vectorised variants are provided for bulk (per-byte-column) encoding and
-decoding, which is where virtually all of the CPU time goes.
+``x^8 + x^4 + x^3 + x + 1`` (0x11B).  The field is small enough that a full
+256 x 256 multiplication table (64 KiB, built once per field instance) makes
+every bulk operation a single numpy fancy-index gather — no zero masks, no
+boolean temporaries — which is where virtually all of the CPU time goes.
+Exp/log tables are kept alongside for division, powers and inverses.
 
 Only one field size is needed by the paper (values are byte strings and each
 coded element is a byte string), but the implementation is written against an
@@ -47,7 +48,15 @@ class GF256:
     both XOR.
     """
 
-    __slots__ = ("primitive_poly", "generator", "exp", "log", "_inv")
+    __slots__ = (
+        "primitive_poly",
+        "generator",
+        "exp",
+        "log",
+        "_inv",
+        "_mul_table",
+        "_mul_flat",
+    )
 
     def __init__(
         self,
@@ -82,6 +91,15 @@ class GF256:
         for a in range(1, FIELD_SIZE):
             inv[a] = exp[ORDER - log[a]]
         self._inv = inv
+        # Full 256 x 256 product table (64 KiB).  Row/column 0 stay zero, so
+        # the vectorised kernels need no zero masks at all: MUL[a, b] is the
+        # product for every (a, b) pair, including zeros.
+        mul_table = np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=np.uint8)
+        nz_log = log[1:]
+        mul_table[1:, 1:] = exp[nz_log[:, None] + nz_log[None, :]]
+        self._mul_table = mul_table
+        # Flat view for 1D take-based gathers (row-major: index = a*256 + b).
+        self._mul_flat = mul_table.reshape(-1)
 
     # ------------------------------------------------------------------
     # scalar operations
@@ -109,10 +127,8 @@ class GF256:
         return a ^ b
 
     def mul(self, a: int, b: int) -> int:
-        """Field multiplication via exp/log tables."""
-        if a == 0 or b == 0:
-            return 0
-        return int(self.exp[int(self.log[a]) + int(self.log[b])])
+        """Field multiplication via the product table."""
+        return int(self._mul_table[a, b])
 
     def div(self, a: int, b: int) -> int:
         """Field division ``a / b``; raises ``ZeroDivisionError`` if b == 0."""
@@ -147,27 +163,26 @@ class GF256:
     # vectorised operations on numpy uint8 arrays
     # ------------------------------------------------------------------
     def mul_vec(self, a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
-        """Element-wise product of two uint8 arrays (or array and scalar)."""
+        """Element-wise product of two uint8 arrays (or array and scalar).
+
+        A single gather into the (flattened) 256 x 256 product table; the
+        index arrays broadcast against each other exactly like ``a * b``.
+        """
         a = np.asarray(a, dtype=np.uint8)
-        b_arr = np.asarray(b, dtype=np.uint8)
-        a_b, b_b = np.broadcast_arrays(a, b_arr)
-        out = np.zeros(a_b.shape, dtype=np.uint8)
-        nz = (a_b != 0) & (b_b != 0)
-        if np.any(nz):
-            idx = self.log[a_b[nz]] + self.log[b_b[nz]]
-            out[nz] = self.exp[idx]
-        return out
+        b = np.asarray(b, dtype=np.uint8)
+        if a.shape != b.shape:
+            a, b = np.broadcast_arrays(a, b)
+        idx = a.astype(np.intp)
+        idx <<= 8
+        idx += b
+        # mode="wrap" skips per-element bounds checks; indices built from two
+        # uint8 operands are always within the 65536-entry table.
+        return self._mul_flat.take(idx, mode="wrap")
 
     def scale_vec(self, a: np.ndarray, scalar: int) -> np.ndarray:
-        """Multiply every element of ``a`` by a scalar."""
-        if scalar == 0:
-            return np.zeros_like(np.asarray(a, dtype=np.uint8))
+        """Multiply every element of ``a`` by a scalar (one row-table gather)."""
         a = np.asarray(a, dtype=np.uint8)
-        out = np.zeros_like(a)
-        nz = a != 0
-        if np.any(nz):
-            out[nz] = self.exp[self.log[a[nz]] + int(self.log[scalar])]
-        return out
+        return self._mul_table[scalar].take(a, mode="wrap")
 
     def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
         """Matrix product over GF(2^8).
@@ -182,14 +197,24 @@ class GF256:
         m, p = A.shape
         q = B.shape[1]
         out = np.zeros((m, q), dtype=np.uint8)
-        # Accumulate row-by-row of the inner dimension: for typical code
-        # parameters p = k <= n <= 255 this loop is short while the work per
-        # iteration is fully vectorised over the (usually long) value axis.
+        mul_table = self._mul_table
+        product = np.empty(q, dtype=np.uint8)
+        # For typical code parameters m, p = n, k <= 255 while q (the value
+        # axis) is long: m * p scalar-times-row products, each one a 1D take
+        # from a 256-byte L1-resident table row, XOR-accumulated in place.
+        # Scalar coefficients 0 and 1 shortcut the gather entirely — the
+        # identity block of a systematic encode matrix is half its entries.
         for j in range(p):
-            col = A[:, j]  # shape (m,)
-            row = B[j, :]  # shape (q,)
-            prod = self.mul_vec(col[:, None], row[None, :])
-            out ^= prod
+            row = B[j]
+            for i in range(m):
+                coeff = A[i, j]
+                if coeff == 0:
+                    continue
+                if coeff == 1:
+                    np.bitwise_xor(out[i], row, out=out[i])
+                    continue
+                np.take(mul_table[coeff], row, out=product, mode="wrap")
+                np.bitwise_xor(out[i], product, out=out[i])
         return out
 
     # ------------------------------------------------------------------

@@ -1,0 +1,199 @@
+"""Shared machinery for matrix-defined (linear) MDS codes.
+
+Both erasure backends — the classical Reed–Solomon code and the systematic
+Vandermonde code — encode by one matrix product ``G @ message`` and decode
+erasures by inverting the ``k x k`` submatrix of ``G`` selected by the
+available element indices.  :class:`LinearCode` hosts that shared pipeline:
+
+* single-value ``encode`` / ``decode``;
+* batched ``encode_many`` / ``decode_many`` that frame a whole batch of
+  values into one wide stripe matrix so a single GF(2^8) matmul amortises
+  the per-call overhead over the batch (the sweep workloads' hot path);
+* a bounded LRU cache of inverted decode submatrices — there are C(n, k)
+  distinct index sets, which grows combinatorially for large ``n``, so an
+  unbounded cache is a memory leak in long crash-heavy runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.erasure.gf import GF256
+from repro.erasure.matrix import gauss_jordan_invert
+from repro.erasure.mds import CodedElement, DecodingError, MDSCode
+
+#: Default bound on cached inverted decode submatrices per code instance.
+DEFAULT_DECODE_CACHE_SIZE = 128
+
+
+class LinearCode(MDSCode):
+    """An ``[n, k]`` MDS code defined by an ``n x k`` encode matrix.
+
+    Subclasses construct their encode matrix and then call
+    :meth:`_init_linear`; everything else (encoding, erasure decoding, the
+    batched variants and the decode-matrix cache) is shared.
+    """
+
+    def _init_linear(
+        self,
+        field: GF256,
+        encode_matrix: np.ndarray,
+        *,
+        decode_cache_size: int = DEFAULT_DECODE_CACHE_SIZE,
+    ) -> None:
+        if decode_cache_size < 1:
+            raise ValueError("decode_cache_size must be at least 1")
+        self.field = field
+        self._encode_matrix = np.asarray(encode_matrix, dtype=np.uint8)
+        if self._encode_matrix.shape != (self.n, self.k):
+            raise ValueError(
+                f"encode matrix must have shape ({self.n}, {self.k}), "
+                f"got {self._encode_matrix.shape}"
+            )
+        self._decode_cache_size = decode_cache_size
+        self._decode_cache: "OrderedDict[Tuple[int, ...], np.ndarray]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode(self, value: bytes) -> List[CodedElement]:
+        """Encode ``value`` into ``n`` coded elements of equal size."""
+        message = self._frame(value)  # (k, stripe)
+        codeword = self.field.matmul(self._encode_matrix, message)  # (n, stripe)
+        return [
+            CodedElement(index=i, data=codeword[i].tobytes()) for i in range(self.n)
+        ]
+
+    def encode_many(self, values: Sequence[bytes]) -> List[List[CodedElement]]:
+        """Encode a batch of values with one wide matrix product.
+
+        Every value is framed to its own ``(k, stripe_i)`` matrix; the frames
+        are concatenated column-wise so a single matmul encodes the whole
+        batch, and the resulting codeword is split back per value.  The
+        output is byte-identical to calling :meth:`encode` per value.
+        """
+        if not values:
+            return []
+        frames = [self._frame(v) for v in values]
+        stacked = np.concatenate(frames, axis=1)  # (k, sum of stripes)
+        codeword = self.field.matmul(self._encode_matrix, stacked)
+        out: List[List[CodedElement]] = []
+        column = 0
+        for frame in frames:
+            width = frame.shape[1]
+            block = codeword[:, column : column + width]
+            out.append(
+                [CodedElement(index=i, data=block[i].tobytes()) for i in range(self.n)]
+            )
+            column += width
+        return out
+
+    # ------------------------------------------------------------------
+    # erasure-only decoding
+    # ------------------------------------------------------------------
+    def decode(self, elements: Iterable[CodedElement]) -> bytes:
+        """Reconstruct the value from any ``k`` (or more) correct elements."""
+        available = self._collect(elements)
+        indices, stripe = self._decoding_plan(available)
+        received = self._gather_rows(available, indices, stripe)
+        inverse = self._decode_matrix(indices)
+        message = self.field.matmul(inverse, received)
+        return self._unframe(message)
+
+    def decode_many(
+        self, element_sets: Sequence[Iterable[CodedElement]]
+    ) -> List[bytes]:
+        """Decode a batch of element collections, batching the matmuls.
+
+        Collections that share the same index set and stripe length (the
+        common case in scenario sweeps, where all reads of a run see the
+        same surviving servers) are concatenated column-wise and decoded by
+        a single matrix product.  Results come back in input order and are
+        byte-identical to calling :meth:`decode` per collection.
+        """
+        collected = [self._collect(els) for els in element_sets]
+        groups: Dict[Tuple[Tuple[int, ...], int], List[int]] = {}
+        plans: List[Tuple[Tuple[int, ...], int]] = []
+        for position, available in enumerate(collected):
+            plan = self._decoding_plan(available)
+            plans.append(plan)
+            groups.setdefault(plan, []).append(position)
+        results: List[bytes] = [b""] * len(collected)
+        for (indices, stripe), positions in groups.items():
+            wide = np.zeros((self.k, stripe * len(positions)), dtype=np.uint8)
+            for slot, position in enumerate(positions):
+                wide[:, slot * stripe : (slot + 1) * stripe] = self._gather_rows(
+                    collected[position], indices, stripe
+                )
+            inverse = self._decode_matrix(indices)
+            message = self.field.matmul(inverse, wide)
+            for slot, position in enumerate(positions):
+                results[position] = self._unframe(
+                    message[:, slot * stripe : (slot + 1) * stripe]
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    # shared decode helpers
+    # ------------------------------------------------------------------
+    def _decoding_plan(
+        self, available: Dict[int, bytes]
+    ) -> Tuple[Tuple[int, ...], int]:
+        """Validate an element mapping and pick ``(indices, stripe)`` for it."""
+        if len(available) < self.k:
+            raise DecodingError(
+                f"need at least k={self.k} coded elements, got {len(available)}"
+            )
+        self._check_indices(available)
+        indices = tuple(sorted(available))[: self.k]
+        return indices, self._stripe_length(available)
+
+    def _gather_rows(
+        self, available: Dict[int, bytes], indices: Tuple[int, ...], stripe: int
+    ) -> np.ndarray:
+        rows = np.zeros((len(indices), stripe), dtype=np.uint8)
+        for row, idx in enumerate(indices):
+            rows[row] = np.frombuffer(available[idx], dtype=np.uint8)
+        return rows
+
+    def _decode_matrix(self, indices: Tuple[int, ...]) -> np.ndarray:
+        """Inverse of the ``k x k`` encode submatrix for ``indices`` (LRU-cached)."""
+        cache = self._decode_cache
+        cached = cache.get(indices)
+        if cached is not None:
+            cache.move_to_end(indices)
+            return cached
+        sub = self._encode_matrix[list(indices), :]
+        inverse = gauss_jordan_invert(self.field, sub)
+        cache[indices] = inverse
+        if len(cache) > self._decode_cache_size:
+            cache.popitem(last=False)
+        return inverse
+
+    def _check_indices(self, available: Dict[int, bytes]) -> None:
+        sizes = {len(d) for d in available.values()}
+        if len(sizes) > 1:
+            raise DecodingError(f"coded elements have inconsistent sizes: {sizes}")
+        bad = [i for i in available if not 0 <= i < self.n]
+        if bad:
+            raise DecodingError(f"element indices out of range [0, {self.n}): {bad}")
+
+    @staticmethod
+    def _stripe_length(available: Dict[int, bytes]) -> int:
+        return len(next(iter(available.values())))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def encode_matrix(self) -> np.ndarray:
+        """The ``n x k`` encode matrix (row ``i`` yields codeword symbol ``i``)."""
+        return self._encode_matrix.copy()
+
+    @property
+    def decode_cache_size(self) -> int:
+        """Number of currently cached inverted decode submatrices."""
+        return len(self._decode_cache)

@@ -141,6 +141,30 @@ class MDSCode(ABC):
         ``max_errors`` of which may be silently corrupted (Phi^-1_err)."""
 
     # ------------------------------------------------------------------
+    # batched pipeline
+    # ------------------------------------------------------------------
+    def encode_many(self, values: Sequence[bytes]) -> List[List[CodedElement]]:
+        """Encode a batch of values; element ``[i][j]`` is value ``i``'s
+        ``j``-th coded element.
+
+        The default implementation simply loops; matrix-backed codes
+        override it to frame the whole batch into one wide stripe matrix so
+        a single GF(2^8) matmul amortises over the batch.  Implementations
+        must produce results byte-identical to per-value :meth:`encode`.
+        """
+        return [self.encode(value) for value in values]
+
+    def decode_many(
+        self, element_sets: Sequence[Iterable[CodedElement]]
+    ) -> List[bytes]:
+        """Decode a batch of element collections, one value per collection.
+
+        Same contract as :meth:`encode_many`: overrides may batch the work
+        but must match per-collection :meth:`decode` byte for byte.
+        """
+        return [self.decode(elements) for elements in element_sets]
+
+    # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
     def encode_map(self, value: bytes) -> Dict[int, CodedElement]:

@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, List
 
+import numpy as np
+
 from repro.erasure.mds import CodedElement, DecodingError, MDSCode
 
 
@@ -32,8 +34,6 @@ class ReplicationCode(MDSCode):
         if not available:
             raise DecodingError("need at least one replica to decode")
         data = next(iter(available.values()))
-        import numpy as np
-
         return self._unframe(np.frombuffer(data, dtype=np.uint8))
 
     def decode_with_errors(
@@ -57,6 +57,4 @@ class ReplicationCode(MDSCode):
                 "no replica value has a sufficient majority "
                 f"({votes} votes out of {len(available)})"
             )
-        import numpy as np
-
         return self._unframe(np.frombuffer(data, dtype=np.uint8))

@@ -29,17 +29,17 @@ polynomial, so its locator is ``X_i = alpha^(n-1-i)``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 import numpy as np
 
 from repro.erasure import poly
 from repro.erasure.gf import GF256, default_field
-from repro.erasure.matrix import gauss_jordan_invert
-from repro.erasure.mds import CodedElement, DecodingError, MDSCode
+from repro.erasure.linear import DEFAULT_DECODE_CACHE_SIZE, LinearCode
+from repro.erasure.mds import CodedElement, DecodingError
 
 
-class ReedSolomonCode(MDSCode):
+class ReedSolomonCode(LinearCode):
     """A systematic ``[n, k]`` Reed–Solomon code over GF(2^8).
 
     Parameters
@@ -51,21 +51,34 @@ class ReedSolomonCode(MDSCode):
     field:
         Optional field instance (tests exercise alternative primitive
         polynomials); defaults to the shared GF(2^8) instance.
+    decode_cache_size:
+        Bound on the LRU cache of inverted decode submatrices (there are
+        C(n, k) distinct index sets, far too many to cache unboundedly).
     """
 
-    def __init__(self, n: int, k: int, field: GF256 | None = None) -> None:
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        field: GF256 | None = None,
+        *,
+        decode_cache_size: int = DEFAULT_DECODE_CACHE_SIZE,
+    ) -> None:
         super().__init__(n, k)
         if n > 255:
             raise ValueError(f"Reed-Solomon over GF(2^8) supports n <= 255, got {n}")
         self.field = field or default_field()
         self._nparity = n - k
         self._generator_poly = self._build_generator_poly()
-        # Systematic encode matrix: shape (n, k); row i yields codeword symbol i.
-        self._encode_matrix = self._build_encode_matrix()
+        # Systematic encode matrix (n, k) plus the shared linear-code
+        # pipeline (encode/decode, batched variants, decode-matrix cache).
+        self._init_linear(
+            self.field,
+            self._build_encode_matrix(),
+            decode_cache_size=decode_cache_size,
+        )
         # Syndrome matrix: shape (n-k, n); S = syndrome_matrix @ received.
         self._syndrome_matrix = self._build_syndrome_matrix()
-        # Cache of inverted k x k submatrices keyed by the sorted index tuple.
-        self._decode_cache: Dict[Tuple[int, ...], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -108,45 +121,8 @@ class ReedSolomonCode(MDSCode):
         """The error locator ``X_i = alpha^(n-1-i)`` of codeword position ``i``."""
         return self.field.alpha_pow(self.n - 1 - position)
 
-    # ------------------------------------------------------------------
-    # public API: encoding
-    # ------------------------------------------------------------------
-    def encode(self, value: bytes) -> List[CodedElement]:
-        """Encode ``value`` into ``n`` coded elements of equal size."""
-        message = self._frame(value)  # (k, stripe)
-        codeword = self.field.matmul(self._encode_matrix, message)  # (n, stripe)
-        return [
-            CodedElement(index=i, data=codeword[i].tobytes()) for i in range(self.n)
-        ]
-
-    # ------------------------------------------------------------------
-    # public API: erasure-only decoding (Phi^-1)
-    # ------------------------------------------------------------------
-    def decode(self, elements: Iterable[CodedElement]) -> bytes:
-        """Reconstruct the value from any ``k`` (or more) correct elements."""
-        available = self._collect(elements)
-        if len(available) < self.k:
-            raise DecodingError(
-                f"need at least k={self.k} coded elements, got {len(available)}"
-            )
-        self._check_indices(available)
-        indices = tuple(sorted(available))[: self.k]
-        stripe = self._stripe_length(available)
-        received = np.zeros((self.k, stripe), dtype=np.uint8)
-        for row, idx in enumerate(indices):
-            received[row] = np.frombuffer(available[idx], dtype=np.uint8)
-        inverse = self._decode_matrix(indices)
-        message = self.field.matmul(inverse, received)
-        return self._unframe(message)
-
-    def _decode_matrix(self, indices: Tuple[int, ...]) -> np.ndarray:
-        """Inverse of the k x k encode submatrix for the given element indices."""
-        cached = self._decode_cache.get(indices)
-        if cached is None:
-            sub = self._encode_matrix[list(indices), :]
-            cached = gauss_jordan_invert(self.field, sub)
-            self._decode_cache[indices] = cached
-        return cached
+    # Encoding, erasure-only decoding (Phi^-1) and the batched
+    # encode_many/decode_many pipeline are inherited from LinearCode.
 
     # ------------------------------------------------------------------
     # public API: errors-and-erasures decoding (Phi^-1_err)
@@ -354,32 +330,12 @@ class ReedSolomonCode(MDSCode):
         return out
 
     # ------------------------------------------------------------------
-    # validation helpers
-    # ------------------------------------------------------------------
-    def _check_indices(self, available: Dict[int, bytes]) -> None:
-        sizes = {len(d) for d in available.values()}
-        if len(sizes) > 1:
-            raise DecodingError(f"coded elements have inconsistent sizes: {sizes}")
-        bad = [i for i in available if not 0 <= i < self.n]
-        if bad:
-            raise DecodingError(f"element indices out of range [0, {self.n}): {bad}")
-
-    @staticmethod
-    def _stripe_length(available: Dict[int, bytes]) -> int:
-        return len(next(iter(available.values())))
-
-    # ------------------------------------------------------------------
     # reference / introspection helpers used by tests
     # ------------------------------------------------------------------
     @property
     def generator_poly(self) -> List[int]:
         """The generator polynomial (descending coefficients)."""
         return list(self._generator_poly)
-
-    @property
-    def encode_matrix(self) -> np.ndarray:
-        """The ``n x k`` systematic encode matrix (row i = codeword symbol i)."""
-        return self._encode_matrix.copy()
 
     def is_codeword(self, symbols: Sequence[int]) -> bool:
         """Check whether a full n-symbol column is a codeword (zero syndromes)."""

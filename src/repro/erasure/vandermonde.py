@@ -22,69 +22,49 @@ property-based tests.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
 from repro.erasure.gf import GF256, default_field
-from repro.erasure.matrix import gauss_jordan_invert, systematic_generator
-from repro.erasure.mds import CodedElement, DecodingError, MDSCode
+from repro.erasure.linear import DEFAULT_DECODE_CACHE_SIZE, LinearCode
+from repro.erasure.matrix import systematic_generator
+from repro.erasure.mds import CodedElement, DecodingError
 
 
-class VandermondeCode(MDSCode):
-    """A systematic ``[n, k]`` MDS code built from a Vandermonde matrix."""
+class VandermondeCode(LinearCode):
+    """A systematic ``[n, k]`` MDS code built from a Vandermonde matrix.
 
-    def __init__(self, n: int, k: int, field: GF256 | None = None) -> None:
+    Encoding, erasure decoding and the batched encode_many/decode_many
+    pipeline come from :class:`~repro.erasure.linear.LinearCode`; this class
+    adds only the generator construction and the combinatorial
+    errors-and-erasures decoder.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        field: GF256 | None = None,
+        *,
+        decode_cache_size: int = DEFAULT_DECODE_CACHE_SIZE,
+    ) -> None:
         super().__init__(n, k)
         if n > 255:
             raise ValueError(f"GF(2^8) Vandermonde codes support n <= 255, got {n}")
-        self.field = field or default_field()
+        field = field or default_field()
         # (k x n) generator; transpose gives the (n x k) encode matrix.
-        self._generator = systematic_generator(self.field, n, k)
-        self._encode_matrix = self._generator.T.copy()
-        self._decode_cache: Dict[Tuple[int, ...], np.ndarray] = {}
-
-    # ------------------------------------------------------------------
-    # encoding / erasure decoding
-    # ------------------------------------------------------------------
-    def encode(self, value: bytes) -> List[CodedElement]:
-        message = self._frame(value)
-        codeword = self.field.matmul(self._encode_matrix, message)
-        return [
-            CodedElement(index=i, data=codeword[i].tobytes()) for i in range(self.n)
-        ]
-
-    def decode(self, elements: Iterable[CodedElement]) -> bytes:
-        available = self._collect(elements)
-        if len(available) < self.k:
-            raise DecodingError(
-                f"need at least k={self.k} coded elements, got {len(available)}"
-            )
-        indices = tuple(sorted(available))[: self.k]
-        rows = self._rows_for(available, indices)
-        inverse = self._decode_matrix(indices)
-        message = self.field.matmul(inverse, rows)
-        return self._unframe(message)
-
-    def _decode_matrix(self, indices: Tuple[int, ...]) -> np.ndarray:
-        cached = self._decode_cache.get(indices)
-        if cached is None:
-            sub = self._encode_matrix[list(indices), :]
-            cached = gauss_jordan_invert(self.field, sub)
-            self._decode_cache[indices] = cached
-        return cached
+        self._generator = systematic_generator(field, n, k)
+        self._init_linear(
+            field,
+            self._generator.T.copy(),
+            decode_cache_size=decode_cache_size,
+        )
 
     def _rows_for(
         self, available: Dict[int, bytes], indices: Tuple[int, ...]
     ) -> np.ndarray:
-        sizes = {len(d) for d in available.values()}
-        if len(sizes) != 1:
-            raise DecodingError(f"coded elements have inconsistent sizes: {sizes}")
-        stripe = sizes.pop()
-        rows = np.zeros((len(indices), stripe), dtype=np.uint8)
-        for r, idx in enumerate(indices):
-            rows[r] = np.frombuffer(available[idx], dtype=np.uint8)
-        return rows
+        return self._gather_rows(available, indices, self._stripe_length(available))
 
     # ------------------------------------------------------------------
     # errors-and-erasures decoding (combinatorial decode-and-verify)
@@ -102,9 +82,7 @@ class VandermondeCode(MDSCode):
             )
         if max_errors == 0:
             return self.decode([CodedElement(i, d) for i, d in available.items()])
-        bad = [i for i in available if not 0 <= i < self.n]
-        if bad:
-            raise DecodingError(f"element indices out of range [0, {self.n}): {bad}")
+        self._check_indices(available)
 
         indices = sorted(available)
         threshold = len(indices) - max_errors

@@ -9,9 +9,9 @@ the trackers below simply aggregate those attributes.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional
+from typing import Deque, Dict, Hashable, Optional
 
 from repro.sim.network import MessageRecord, Network
 
@@ -71,12 +71,23 @@ class StorageTracker:
     changes (storing a new element, garbage-collecting old versions, ...).
     The tracker maintains the current total and the running maximum — the
     paper's worst-case total storage cost.
+
+    The per-update time series in :attr:`samples` is bounded: long benchmark
+    runs produce one sample per applied write per server, which would grow
+    without limit.  The newest ``max_samples`` samples are retained (pass
+    ``max_samples=None`` for an unbounded series); the running peak and
+    current totals are exact regardless of the bound.
     """
 
-    def __init__(self) -> None:
+    #: Default bound on the retained time series.
+    DEFAULT_MAX_SAMPLES = 10_000
+
+    def __init__(self, *, max_samples: Optional[int] = DEFAULT_MAX_SAMPLES) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be positive (or None for unbounded)")
         self._per_server: Dict[Hashable, float] = {}
         self.max_total_units = 0.0
-        self.samples: List[StorageSample] = []
+        self.samples: Deque[StorageSample] = deque(maxlen=max_samples)
 
     def update(self, server_id: Hashable, data_units: float, *, time: float = 0.0) -> None:
         """Record that ``server_id`` currently stores ``data_units`` of data."""

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.consistency.history import History, OperationRecord
+from repro.erasure.batch import CachedEncoder
 from repro.erasure.mds import CodedElement, MDSCode
 from repro.metrics.costs import CommunicationCostTracker, StorageTracker
 from repro.metrics.latency import LatencyTracker
@@ -56,6 +57,12 @@ class RegisterCluster(ABC):
 
     #: Human-readable protocol name, used by the comparison tables.
     protocol_name: str = "abstract"
+
+    #: Whether this protocol's write path reads the shared encoder cache.
+    #: Protocols whose writers never consult it (e.g. ABD's full-value
+    #: replication) set this False so :meth:`warm_encode` does not spend a
+    #: batched encode on values nothing will look up.
+    warm_encoding_effective: bool = True
 
     def __init__(
         self,
@@ -91,7 +98,11 @@ class RegisterCluster(ABC):
         self.failures = FailureInjector(self.sim)
 
         self.code: MDSCode = self._build_code()
-        self.initial_elements: List[CodedElement] = self.code.encode(initial_value)
+        # Cluster-shared memoizing encoder: dispersal-set servers encode the
+        # same value for the same write, and workload drivers can pre-encode
+        # whole batches through it (see warm_encode).
+        self.encoder = CachedEncoder(self.code)
+        self.initial_elements: List[CodedElement] = self.encoder.encode(initial_value)
 
         self.server_ids = [f"s{i}" for i in range(n)]
         self.writer_ids = [f"w{i}" for i in range(num_writers)]
@@ -232,6 +243,19 @@ class RegisterCluster(ABC):
     def run(self, *, max_events: int = 10_000_000, max_time: float = float("inf")) -> None:
         """Run the simulation to quiescence (all pending events processed)."""
         self.sim.run(max_events=max_events, max_time=max_time)
+
+    def warm_encode(self, values: Sequence[bytes]) -> int:
+        """Pre-encode a batch of values into the shared encoder cache.
+
+        One wide GF(2^8) matmul (:meth:`MDSCode.encode_many`) covers the
+        whole batch, so the per-write encodes during the simulation become
+        cache hits.  No-op for protocols that never read the shared cache
+        (see :attr:`warm_encoding_effective`).  Returns the number of
+        values newly encoded.
+        """
+        if not self.warm_encoding_effective:
+            return 0
+        return self.encoder.warm(values)
 
     # ------------------------------------------------------------------
     # failures

@@ -42,18 +42,26 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Cancellation is lazy: the queue tracks the sequence numbers of events
+    that are still *pending*, and a cancel simply removes the seq from that
+    set.  Cancelling an event that already fired (or was never scheduled
+    here) is a no-op — tracking cancellations separately would leave such a
+    seq behind forever and make ``__len__`` under-count, silently ending
+    ``Simulation.run`` while events are still pending.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
-        self._cancelled: set[int] = set()
+        self._pending: set[int] = set()
 
     def __len__(self) -> int:
-        return len(self._heap) - len(self._cancelled)
+        return len(self._pending)
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return bool(self._pending)
 
     def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` at absolute simulated ``time``."""
@@ -61,30 +69,34 @@ class EventQueue:
             raise ValueError(f"cannot schedule an event at negative time {time}")
         event = Event(time=time, seq=next(self._counter), action=action, label=label)
         heapq.heappush(self._heap, event)
+        self._pending.add(event.seq)
         return event
 
     def pop(self) -> Event:
         """Remove and return the next event in (time, seq) order."""
         while self._heap:
             event = heapq.heappop(self._heap)
-            if event.seq in self._cancelled:
-                self._cancelled.discard(event.seq)
-                continue
-            return event
+            if event.seq in self._pending:
+                self._pending.discard(event.seq)
+                return event
         raise IndexError("pop from an empty event queue")
 
     def peek_time(self) -> Optional[float]:
         """The firing time of the next pending event, or ``None`` if empty."""
-        while self._heap and self._heap[0].seq in self._cancelled:
-            event = heapq.heappop(self._heap)
-            self._cancelled.discard(event.seq)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].seq not in self._pending:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
 
     def cancel(self, event: Event) -> None:
-        """Lazily cancel a previously scheduled event."""
-        self._cancelled.add(event.seq)
+        """Lazily cancel a previously scheduled event.
+
+        Cancelling an event that has already fired or been cancelled is a
+        harmless no-op.
+        """
+        self._pending.discard(event.seq)
 
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()
-        self._cancelled.clear()
+        self._pending.clear()

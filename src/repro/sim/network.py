@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Hashable, List, Optional
 
 import numpy as np
@@ -194,18 +195,20 @@ class Network:
             src=src, dst=dst, payload=payload, sent_at=self._sim.now
         )
         self.stats.record_send(record)
+        # Human-readable delivery labels are a tracing aid; building the
+        # f-string on every send is measurable overhead in long benchmark
+        # runs, so it is skipped unless the message trace is kept.
         if self.keep_trace:
             self.trace.append(record)
+            label = f"deliver {type(payload).__name__} {src}->{dst}"
+        else:
+            label = ""
         for listener in self._send_listeners:
             listener(record)
         delay = self.delay_model.sample(src, dst, self._sim.rng)
         if delay < 0:
             raise ValueError(f"delay model produced a negative delay {delay}")
-        self._sim.schedule(
-            delay,
-            lambda: self._deliver(record),
-            label=f"deliver {type(payload).__name__} {src}->{dst}",
-        )
+        self._sim.schedule(delay, partial(self._deliver, record), label=label)
         return record
 
     # -- delivery --------------------------------------------------------

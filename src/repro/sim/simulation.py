@@ -112,11 +112,9 @@ class Simulation:
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Process a single event; returns False if the queue is empty."""
-        if not self._queue:
-            return False
-        event = self._queue.pop()
+    def _fire_event(self, event: Event) -> None:
+        """Advance the clock to ``event`` and execute it (single source of
+        truth for the per-event accounting shared by step/run/run_until)."""
         if event.time < self._now:
             raise SimulationError(
                 f"event {event.label!r} scheduled in the past "
@@ -125,6 +123,12 @@ class Simulation:
         self._now = event.time
         self.events_processed += 1
         event.fire()
+
+    def step(self) -> bool:
+        """Process a single event; returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        self._fire_event(self._queue.pop())
         return True
 
     def run(
@@ -133,13 +137,19 @@ class Simulation:
         max_time: float = float("inf"),
         max_events: int = 10_000_000,
     ) -> None:
-        """Run until the event queue drains (quiescence) or a limit is hit."""
+        """Run until the event queue drains (quiescence) or a limit is hit.
+
+        The loop pops directly off the event queue: one ``peek_time`` call
+        per iteration doubles as both the emptiness check and the time-limit
+        check, instead of the three queue scans ``step`` would repeat.
+        """
+        queue = self._queue
         processed = 0
-        while self._queue:
-            next_time = self._queue.peek_time()
-            if next_time is not None and next_time > max_time:
+        while True:
+            next_time = queue.peek_time()
+            if next_time is None or next_time > max_time:
                 return
-            self.step()
+            self._fire_event(queue.pop())
             processed += 1
             if processed > max_events:
                 raise SimulationError(
@@ -163,18 +173,19 @@ class Simulation:
             liveness tests rely on this to turn "operation never completes"
             into a hard failure.
         """
+        queue = self._queue
         processed = 0
         while not predicate():
-            if not self._queue:
+            next_time = queue.peek_time()
+            if next_time is None:
                 raise SimulationError(
                     "event queue drained before the condition became true"
                 )
-            next_time = self._queue.peek_time()
-            if next_time is not None and next_time > max_time:
+            if next_time > max_time:
                 raise SimulationError(
                     f"condition not reached by simulated time {max_time}"
                 )
-            self.step()
+            self._fire_event(queue.pop())
             processed += 1
             if processed > max_events:
                 raise SimulationError(

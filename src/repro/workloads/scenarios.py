@@ -46,10 +46,11 @@ def sequential_scenario(
 ) -> ScenarioResult:
     """Blocking writes followed by blocking reads — zero concurrency."""
     rng = np.random.default_rng(seed)
-    writes = []
-    for i in range(num_writes):
-        value = unique_value(0, i, value_size, rng)
-        writes.append(cluster.write(value))
+    values = [unique_value(0, i, value_size, rng) for i in range(num_writes)]
+    # One batched matmul up front; the per-write dispersal encodes hit the
+    # cluster's shared encoder cache.
+    cluster.warm_encode(values)
+    writes = [cluster.write(value) for value in values]
     reads = [cluster.read() for _ in range(num_reads)]
     cluster.run()
     return ScenarioResult(writes=writes, reads=reads)
@@ -79,15 +80,19 @@ def concurrent_read_scenario(
     rng = np.random.default_rng(seed)
     # Establish a baseline version so the read has something to return even
     # if every concurrent write lands after it decodes.
-    cluster.write(unique_value(0, 10_000, value_size, rng))
+    baseline = unique_value(0, 10_000, value_size, rng)
+    concurrent_values = [
+        unique_value(i % cluster.num_writers, i, value_size, rng)
+        for i in range(concurrent_writes)
+    ]
+    cluster.warm_encode([baseline, *concurrent_values])
+    cluster.write(baseline)
     start = cluster.sim.now + 1.0
     read_handle = cluster.schedule_read(start, reader=0)
-    for i in range(concurrent_writes):
+    for i, value in enumerate(concurrent_values):
         writer = i % cluster.num_writers
         at = start + 0.05 + i * write_spacing
-        cluster.schedule_write(
-            at, unique_value(writer, i, value_size, rng), writer=writer
-        )
+        cluster.schedule_write(at, value, writer=writer)
     cluster.run()
     assert read_handle.op_id is not None
     return cluster.history.get(read_handle.op_id)

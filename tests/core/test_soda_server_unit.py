@@ -178,10 +178,35 @@ class TestReadValueRegistration:
             op_id="read:r0:1",
         )
         deliver(sim, server, "reader-proc", complete)
-        assert (TAG_ZERO, server.index, "read:r0:1") in server.history_entries
+        assert "read:r0:1" in server.completed_reads
+        # The marker lives in its own set, never in the history entries,
+        # where it would collide with a genuine TAG_ZERO relay record.
+        assert (TAG_ZERO, server.index, "read:r0:1") not in server.history_entries
         register_reader(sim, server, read_id="read:r0:1", tag=TAG_ZERO)
         assert "read:r0:1" not in server.registered_readers
+        assert "read:r0:1" not in server.completed_reads
         assert probes["reader-proc"].of_type(ReadValueResponse) == []
+
+    def test_tag_zero_disperse_entry_does_not_block_registration(self):
+        """Regression for the sentinel collision: a *genuine* history entry
+        ``(TAG_ZERO, self.index, read_id)`` — recorded when this server's
+        relay of the initial value is dispersed — must not be mistaken for
+        the READ-COMPLETE-overtook-registration marker."""
+        sim, server, probes = build_server()
+        # A READ-DISPERSE naming this very server for the initial tag
+        # arrives before the reader's registration (entries for unregistered
+        # readers are accumulated, note 1 of Section IV).
+        payload = ReadDispersePayload(
+            tag=TAG_ZERO, server_index=server.index, read_id="read:r0:1"
+        )
+        msg = MDMeta(mid=("s0", 400), payload=payload, origin="s0", op_id="read:r0:1")
+        deliver(sim, server, "s0", msg)
+        assert (TAG_ZERO, server.index, "read:r0:1") in server.history_entries
+        # The late READ-VALUE must still register the reader and relay the
+        # locally stored element (the old sentinel encoding refused both).
+        register_reader(sim, server, read_id="read:r0:1", tag=TAG_ZERO)
+        assert "read:r0:1" in server.registered_readers
+        assert probes["reader-proc"].of_type(ReadValueResponse) != []
 
     def test_read_complete_unregisters_and_purges(self):
         sim, server, probes = build_server()
@@ -211,6 +236,19 @@ class TestReadDisperse:
             deliver(sim, server, f"s{src}", msg)
         assert "read:r0:1" not in server.registered_readers
         assert all(e[2] != "read:r0:1" for e in server.history_entries)
+        # The READ-COMPLETE arriving after threshold-unregistration must not
+        # leave a permanent completed-read marker (its READ-VALUE was
+        # already processed and will never recur to clear it).
+        complete = MDMeta(
+            mid=("reader-proc", 101 + CODE.k),
+            payload=ReadCompletePayload(
+                reader_pid="reader-proc", read_id="read:r0:1", tag=tag
+            ),
+            origin="reader-proc",
+            op_id="read:r0:1",
+        )
+        deliver(sim, server, "reader-proc", complete)
+        assert "read:r0:1" not in server.completed_reads
 
     def test_fewer_than_k_keeps_reader_registered(self):
         sim, server, probes = build_server()

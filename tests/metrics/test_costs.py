@@ -83,3 +83,23 @@ class TestStorageTracker:
         t.update("s1", 2.0, time=5.0)
         assert [s.time for s in t.samples] == [1.0, 5.0]
         assert [s.total_units for s in t.samples] == [1.0, 2.0]
+
+    def test_samples_bounded_keeps_newest_and_exact_peak(self):
+        t = StorageTracker(max_samples=3)
+        for i in range(10):
+            t.update("s1", float(i), time=float(i))
+        assert len(t.samples) == 3
+        assert [s.time for s in t.samples] == [7.0, 8.0, 9.0]
+        # Peak and current totals are exact despite the dropped samples.
+        assert t.peak() == pytest.approx(9.0)
+        assert t.current_total == pytest.approx(9.0)
+
+    def test_samples_unbounded_when_requested(self):
+        t = StorageTracker(max_samples=None)
+        for i in range(StorageTracker.DEFAULT_MAX_SAMPLES + 5):
+            t.update("s1", 1.0, time=float(i))
+        assert len(t.samples) == StorageTracker.DEFAULT_MAX_SAMPLES + 5
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            StorageTracker(max_samples=0)

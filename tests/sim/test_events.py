@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.events import EventQueue
+from repro.sim.events import Event, EventQueue
 
 
 class TestEventQueue:
@@ -67,6 +67,42 @@ class TestEventQueue:
         q.push(4.0, lambda: None)
         q.cancel(ev)
         assert q.peek_time() == 4.0
+
+    def test_cancel_after_fire_is_noop(self):
+        """Regression: cancelling an already-fired event must not corrupt
+        the queue's length accounting (it used to leave a phantom
+        cancellation that made ``__len__`` under-count forever)."""
+        q = EventQueue()
+        fired = []
+        ev = q.push(1.0, lambda: fired.append("a"))
+        q.push(2.0, lambda: fired.append("b"))
+        assert q.pop() is ev
+        ev.fire()
+        q.cancel(ev)  # already fired: must be a no-op
+        assert len(q) == 1
+        assert q
+        assert q.peek_time() == 2.0
+        q.pop().fire()
+        assert fired == ["a", "b"]
+        assert len(q) == 0
+
+    def test_cancel_twice_is_noop(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(ev)
+        q.cancel(ev)
+        assert len(q) == 1
+
+    def test_cancel_unknown_event_is_noop(self):
+        """Cancelling an event that was never queued here must not affect
+        the pending count."""
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        unknown = Event(time=5.0, seq=999, action=lambda: None)
+        q.cancel(unknown)
+        assert len(q) == 1
+        assert q.peek_time() == 1.0
 
     def test_clear(self):
         q = EventQueue()
