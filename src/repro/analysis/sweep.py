@@ -1,0 +1,125 @@
+"""The sharded sweep engine: declarative parameter sweeps over processes.
+
+Every headline claim of the paper (Theorems 5.3–5.7, 6.3) is a *sweep* —
+storage/read/write cost or latency as one parameter (``f``, ``delta_w``,
+``e``, Δ) varies — and every point of a sweep is an independent, seeded
+simulation.  This module turns that shape into infrastructure:
+
+* :class:`SweepSpec` declares a sweep as a picklable module-level *point
+  function* plus a grid of per-point parameter mappings;
+* each point gets a :class:`SweepPoint` with a seed *derived* from the
+  sweep's base seed, name and point index (stable hashing), so results are
+  reproducible and independent of how the points are scheduled;
+* :func:`run_sweep` executes the points serially (``jobs=1``) or shards
+  them across a spawn-based :mod:`multiprocessing` pool (``jobs=N``),
+  collecting results in point order either way.
+
+Because point functions are module-level (picklable under the ``spawn``
+start method) and every point derives its own seed, a sweep's results are
+**byte-identical for any jobs count** — the determinism tests assert it.
+
+The experiment runners in :mod:`repro.analysis.experiments` are thin
+wrappers that build a :class:`SweepSpec` and call :func:`run_sweep`; the
+CLI exposes the registry in :mod:`repro.analysis.sweeps` via
+``python -m repro.cli experiment sweep <name> --jobs N``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+
+def derive_seed(base_seed: int, sweep_name: str, index: int) -> int:
+    """A stable per-point seed: hash of (base seed, sweep name, point index).
+
+    Derivation (rather than ``base_seed + index``) keeps points of
+    different sweeps decorrelated even when their indices collide, and is
+    identical on every platform and process, which is what makes sharded
+    execution reproducible.
+    """
+    digest = hashlib.sha256(
+        f"{base_seed}:{sweep_name}:{index}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "little") % (2**63 - 1)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: parameters plus its derived seed."""
+
+    index: int
+    params: Tuple[Tuple[str, Any], ...]
+    seed: int
+
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: ``fn(**params, seed=...)`` over a grid.
+
+    Attributes
+    ----------
+    name:
+        Sweep identifier; feeds seed derivation and progress output.
+    fn:
+        A *module-level* callable (picklable under spawn) invoked once per
+        point as ``fn(**params, seed=point_seed)``.
+    grid:
+        One parameter mapping per point, in result order.
+    base_seed:
+        Root of the per-point seed derivation.
+    description:
+        Human-readable mapping to the paper (e.g. "E2: Theorem 5.3").
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    grid: Tuple[Mapping[str, Any], ...]
+    base_seed: int = 0
+    description: str = ""
+
+    def points(self) -> List[SweepPoint]:
+        return [
+            SweepPoint(
+                index=i,
+                params=tuple(sorted(params.items())),
+                seed=derive_seed(self.base_seed, self.name, i),
+            )
+            for i, params in enumerate(self.grid)
+        ]
+
+
+def _run_point(payload: Tuple[Callable[..., Any], SweepPoint]) -> Tuple[int, Any]:
+    """Worker entry: executes one point (module-level, hence spawn-safe)."""
+    fn, point = payload
+    return point.index, fn(**point.kwargs(), seed=point.seed)
+
+
+def run_sweep(spec: SweepSpec, *, jobs: int = 1) -> List[Any]:
+    """Execute every point of ``spec`` and return results in point order.
+
+    ``jobs=1`` runs in-process (no pool, no pickling); ``jobs>1`` shards
+    the points over a ``spawn`` multiprocessing pool — ``spawn`` rather
+    than ``fork`` so workers start from a clean interpreter on every
+    platform (no inherited RNG or simulation state).  ``pool.map``
+    preserves input order, so results are positionally aligned with
+    ``spec.grid`` regardless of which worker ran which point.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    points = spec.points()
+    if jobs == 1 or len(points) <= 1:
+        return [fn_result for _, fn_result in map(_run_point, ((spec.fn, p) for p in points))]
+    payloads = [(spec.fn, p) for p in points]
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=min(jobs, len(points))) as pool:
+        indexed = pool.map(_run_point, payloads)
+    # pool.map already preserves order; sort defensively on the returned
+    # indices so a future imap/unordered swap cannot silently reorder.
+    indexed.sort(key=lambda pair: pair[0])
+    return [result for _, result in indexed]

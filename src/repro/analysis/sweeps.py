@@ -1,0 +1,85 @@
+"""Registry of named sweeps: the E2–E8 artefacts plus the scenario sweeps.
+
+This is the declarative index the CLI (``experiment sweep <name> --jobs N``)
+and the benchmark runner iterate over.  Each entry maps a stable sweep name
+to the experiment runner that builds its
+:class:`~repro.analysis.sweep.SweepSpec` and shards it with
+:func:`~repro.analysis.sweep.run_sweep`:
+
+==============  ========  ====================================================
+sweep name      artefact  paper claim / scenario
+==============  ========  ====================================================
+``storage``     E2        Theorem 5.3 — storage cost ``n/(n-f)`` vs ``f``
+``write-cost``  E3        Theorem 5.4 — write cost ``<= 5 f^2`` vs ``f``
+``read-cost``   E4        Theorem 5.6 — read cost vs concurrency ``delta_w``
+``latency``     E5        Theorem 5.7 — ``5Δ``/``6Δ`` latency bounds vs Δ
+``sodaerr``     E6        Theorem 6.3 — SODAerr costs vs error tolerance ``e``
+``atomicity``   E7        Theorems 5.1/5.2 — liveness + atomicity executions
+``tradeoff``    E8        Section I-B — SODA vs CASGC provisioning vs ``delta``
+``skew``        —         scenario: skewed read/write mix vs read fraction
+``crash-burst`` —         scenario: correlated crash bursts vs burst width
+``slow-disk``   —         scenario: slow-disk latency injection vs extra delay
+==============  ========  ====================================================
+
+Every runner accepts ``jobs`` (shard count; results are byte-identical for
+any value) and ``seed`` (root of the per-point seed derivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.analysis import experiments as exp
+
+#: name -> (runner, one-line description). Runners are called as
+#: ``runner(seed=..., jobs=...)`` with sweep-appropriate defaults.
+SWEEP_REGISTRY: Dict[str, Tuple[Callable[..., List[Any]], str]] = {
+    "storage": (exp.storage_cost_vs_f, "E2: storage cost vs f (Theorem 5.3)"),
+    "write-cost": (exp.write_cost_vs_f, "E3: write cost vs f (Theorem 5.4)"),
+    "read-cost": (
+        exp.read_cost_vs_concurrency,
+        "E4: read cost vs concurrency (Theorem 5.6)",
+    ),
+    "latency": (exp.latency_sweep, "E5: latency vs message delay (Theorem 5.7)"),
+    "sodaerr": (
+        exp.sodaerr_experiment,
+        "E6: SODAerr error-tolerance sweep (Theorem 6.3)",
+    ),
+    "atomicity": (
+        lambda *, seed=0, jobs=1: [exp.atomicity_experiment(seed=seed, jobs=jobs)],
+        "E7: liveness & atomicity (Theorems 5.1/5.2, 6.1/6.2)",
+    ),
+    "tradeoff": (exp.tradeoff_experiment, "E8: SODA vs CASGC trade-off (Section I-B)"),
+    "skew": (exp.skew_experiment, "scenario: skewed read/write mix"),
+    "crash-burst": (exp.crash_burst_experiment, "scenario: correlated crash bursts"),
+    "slow-disk": (exp.slow_disk_experiment, "scenario: slow-disk latency injection"),
+}
+
+
+def available_sweeps() -> List[str]:
+    return sorted(SWEEP_REGISTRY)
+
+
+def run_named_sweep(name: str, *, seed: int = 0, jobs: int = 1) -> List[Any]:
+    """Run a registered sweep by name, sharded over ``jobs`` processes."""
+    key = name.strip().lower().replace("_", "-")
+    if key not in SWEEP_REGISTRY:
+        raise ValueError(
+            f"unknown sweep {name!r}; available: {', '.join(available_sweeps())}"
+        )
+    runner, _ = SWEEP_REGISTRY[key]
+    return runner(seed=seed, jobs=jobs)
+
+
+def rows_as_dicts(rows: List[Any]) -> List[Dict[str, Any]]:
+    """Render sweep results generically (dataclass rows -> dicts)."""
+    out = []
+    for row in rows:
+        if is_dataclass(row):
+            out.append(asdict(row))
+        elif isinstance(row, dict):
+            out.append(dict(row))
+        else:  # pragma: no cover - defensive
+            out.append({"value": row})
+    return out

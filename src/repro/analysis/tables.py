@@ -163,7 +163,7 @@ def generate_table1(
 
 def _read_handles(cluster: RegisterCluster):
     """Completed reads of a cluster as pseudo-handles (op records)."""
-    return [op for op in cluster.history.reads() if op.is_complete]
+    return [op for op in cluster.full_history().reads() if op.is_complete]
 
 
 def format_table(entries: List[Table1Entry]) -> str:

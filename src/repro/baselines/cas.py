@@ -487,5 +487,5 @@ class CasCluster(RegisterCluster):
         completed writes is ``(versions + 1) * n / (n - 2f)`` (the ``+ 1``
         accounts for the initial value)."""
         if versions is None:
-            versions = len([w for w in self.history.writes() if w.is_complete])
+            versions = len([w for w in self.full_history().writes() if w.is_complete])
         return (versions + 1) * self.n / (self.n - 2 * self.f)

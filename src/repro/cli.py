@@ -10,10 +10,16 @@ Usage examples::
     python -m repro.cli experiment latency --delta 1.0
     python -m repro.cli experiment sodaerr --n 10 --f 2
     python -m repro.cli experiment atomicity --protocol SODA --executions 3
+    python -m repro.cli experiment sweep storage --jobs 4
+    python -m repro.cli experiment sweep --list
 
 The CLI is a thin wrapper over :mod:`repro.analysis`; anything it prints can
 also be obtained programmatically (see EXPERIMENTS.md for the mapping to the
-paper's tables and theorems).
+paper's tables and theorems, and docs/sweeps.md for the sweep registry).
+
+``experiment sweep <name> --jobs N`` runs any registered sweep sharded over
+``N`` worker processes; results are identical for every jobs count (each
+point derives its own seed), so ``--jobs`` is purely a wall-clock knob.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import experiments as exp
+from repro.analysis.sweeps import available_sweeps, rows_as_dicts, run_named_sweep
 from repro.analysis.tables import format_table, generate_table1
 from repro.baselines.registry import available_protocols, make_cluster
 
@@ -62,26 +69,59 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list or not args.sweep_name:
+        print("Available sweeps (experiment sweep <name>):")
+        for name in available_sweeps():
+            print(f"  {name}")
+        return 0
+    try:
+        rows = run_named_sweep(args.sweep_name, seed=args.seed, jobs=args.jobs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for row in rows_as_dicts(rows):
+        print("  ".join(f"{key}={_format_cell(value)}" for key, value in row.items()))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     name = args.name.replace("_", "-")
+    if name == "sweep":
+        return _cmd_sweep(args)
+    if args.sweep_name is not None:
+        print(
+            f"unexpected argument {args.sweep_name!r}: only 'experiment sweep' "
+            f"takes a second name",
+            file=sys.stderr,
+        )
+        return 2
     if name == "storage":
-        for p in exp.storage_cost_vs_f(n=args.n, seed=args.seed):
+        for p in exp.storage_cost_vs_f(n=args.n, seed=args.seed, jobs=args.jobs):
             print(f"f={p.f}: measured={p.measured:.3f} predicted={p.predicted:.3f}")
     elif name == "write-cost":
-        for p in exp.write_cost_vs_f(seed=args.seed):
+        for p in exp.write_cost_vs_f(seed=args.seed, jobs=args.jobs):
             print(f"f={p.f} n={p.n}: measured={p.measured:.2f} bound={p.bound:.0f}")
     elif name == "read-cost":
-        for p in exp.read_cost_vs_concurrency(n=args.n, f=args.f, seed=args.seed):
+        for p in exp.read_cost_vs_concurrency(n=args.n, f=args.f, seed=args.seed, jobs=args.jobs):
             print(
                 f"concurrent={p.concurrent_writes} delta_w={p.measured_delta_w}: "
                 f"cost={p.measured_cost:.2f} bound={p.bound:.2f}"
             )
     elif name == "latency":
-        r = exp.latency_experiment(n=args.n, f=args.f, delta=args.delta, seed=args.seed)
+        r = exp.latency_experiment(
+            n=args.n, f=args.f, delta=args.delta, seed=args.seed, jobs=args.jobs
+        )
         print(f"max write latency={r.max_write_latency:.2f} (bound {r.write_bound:.2f})")
         print(f"max read  latency={r.max_read_latency:.2f} (bound {r.read_bound:.2f})")
     elif name == "sodaerr":
-        for p in exp.sodaerr_experiment(n=args.n, f=args.f, seed=args.seed):
+        for p in exp.sodaerr_experiment(n=args.n, f=args.f, seed=args.seed, jobs=args.jobs):
             print(
                 f"e={p.e}: correct={p.reads_correct} errors={p.errors_injected} "
                 f"storage={p.measured_storage:.3f}/{p.predicted_storage:.3f} "
@@ -89,16 +129,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
     elif name == "atomicity":
         r = exp.atomicity_experiment(
-            args.protocol, n=args.n, f=args.f, executions=args.executions, seed=args.seed
+            args.protocol,
+            n=args.n,
+            f=args.f,
+            executions=args.executions,
+            seed=args.seed,
+            jobs=args.jobs,
         )
         print(
             f"{r.protocol}: {r.linearizable_executions}/{r.executions} executions "
             f"linearizable, {r.incomplete_operations} incomplete ops, "
-            f"{r.lemma_violations} Lemma 2.1 violations"
+            f"{r.lemma_violations} Lemma 2.1 violations, "
+            f"{r.incremental_agreements}/{r.executions} incremental agreements"
         )
         return 0 if r.linearizable_executions == r.executions else 1
     elif name == "tradeoff":
-        for p in exp.tradeoff_experiment(n=args.n, f=args.f, seed=args.seed):
+        for p in exp.tradeoff_experiment(n=args.n, f=args.f, seed=args.seed, jobs=args.jobs):
             print(
                 f"delta={p.delta}: CASGC storage={p.casgc_storage:.2f} "
                 f"read={p.casgc_read_cost:.2f} | SODA storage={p.soda_storage:.2f} "
@@ -137,7 +183,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="run one of the paper experiments")
     p_exp.add_argument(
         "name",
-        help="storage | write-cost | read-cost | latency | sodaerr | atomicity | tradeoff",
+        help="storage | write-cost | read-cost | latency | sodaerr | atomicity | "
+        "tradeoff | sweep (sweep runs any registered sweep, sharded)",
+    )
+    p_exp.add_argument(
+        "sweep_name",
+        nargs="?",
+        default=None,
+        help="with 'sweep': the registered sweep to run (see --list)",
     )
     p_exp.add_argument("--n", type=int, default=6)
     p_exp.add_argument("--f", type=int, default=2)
@@ -145,6 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--protocol", default="SODA")
     p_exp.add_argument("--executions", type=int, default=3)
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard the sweep's points over N worker processes "
+        "(results are identical for any value)",
+    )
+    p_exp.add_argument(
+        "--list", action="store_true", help="with 'sweep': list registered sweeps"
+    )
     p_exp.set_defaults(func=_cmd_experiment)
 
     return parser

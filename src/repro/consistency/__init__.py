@@ -6,24 +6,43 @@ on operations that satisfies the three properties of Lemma 2.1.  This
 package provides the machinery to *check* those guarantees on simulated
 executions:
 
-* :mod:`repro.consistency.history` records operation invocations/responses
-  together with the (tag, value) pair the protocol associates with them;
+* :mod:`repro.consistency.stream` defines the operation event stream: the
+  :class:`OperationRecord`, the narrow :class:`HistorySink` recording
+  interface every protocol client writes through, and the bounded-memory
+  :class:`StreamingRecorder` for long runs;
+* :mod:`repro.consistency.history` is the in-memory sink (the full
+  :class:`History` log) consumed by the offline checkers and analyses;
 * :mod:`repro.consistency.lemma_check` verifies the Lemma 2.1 properties
   directly from the recorded tags (the proof technique used in the paper);
 * :mod:`repro.consistency.wgl` is an independent Wing–Gong–Lowe style
   linearizability checker for read/write registers that only looks at
   invocation/response times and values — it knows nothing about tags, so it
-  cross-validates the protocol and the tag-based argument.
+  cross-validates the protocol and the tag-based argument;
+* :mod:`repro.consistency.incremental` checks the same register property
+  *online* as operations retire off the stream, in O(ops · frontier) time
+  and bounded memory — the scale-out path for million-operation histories.
 """
 
 from repro.consistency.history import History, OperationRecord
+from repro.consistency.incremental import (
+    IncrementalAtomicityChecker,
+    IncrementalCheckResult,
+    check_history_incrementally,
+)
 from repro.consistency.lemma_check import AtomicityViolation, check_lemma_properties
+from repro.consistency.stream import HistorySink, StreamingRecorder, StreamObserver
 from repro.consistency.wgl import check_linearizability
 
 __all__ = [
     "History",
+    "HistorySink",
+    "IncrementalAtomicityChecker",
+    "IncrementalCheckResult",
     "OperationRecord",
+    "StreamingRecorder",
+    "StreamObserver",
     "AtomicityViolation",
     "check_lemma_properties",
     "check_linearizability",
+    "check_history_incrementally",
 ]

@@ -1,119 +1,79 @@
 """Recording of operation histories during simulated executions.
 
-A :class:`History` is the sequence of read/write operations a workload
-performed against a cluster, with their invocation and response times, the
-values written/returned and (when the protocol exposes them) the tags the
+A :class:`History` is the in-memory :class:`~repro.consistency.stream.HistorySink`:
+the full sequence of read/write operations a workload performed against a
+cluster, with their invocation and response times, the values
+written/returned and (when the protocol exposes them) the tags the
 operations were associated with.  Histories are consumed by the
 linearizability checkers and by the latency/cost analyses.
+
+For executions too long to materialise, use
+:class:`~repro.consistency.stream.StreamingRecorder` instead; both sinks
+record through the same narrow interface, so protocol clients never need to
+know which one is behind them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+import bisect
+import math
+from typing import Dict, List, Optional, Tuple
 
-WRITE = "write"
-READ = "read"
+from repro.consistency.stream import (
+    READ,
+    WRITE,
+    HistorySink,
+    OperationRecord,
+)
 
-
-@dataclass
-class OperationRecord:
-    """One client operation in an execution.
-
-    Attributes
-    ----------
-    op_id:
-        Unique identifier, also used to attribute communication cost.
-    kind:
-        ``"write"`` or ``"read"``.
-    client:
-        Process id of the invoking client.
-    invoked_at / responded_at:
-        Simulated times of the invocation and response steps; an operation
-        with ``responded_at is None`` is incomplete (its client may have
-        crashed, or the execution was truncated).
-    value:
-        For writes, the value written; for reads, the value returned.
-    tag:
-        The protocol-level tag associated with the operation (write tag or
-        the tag whose elements the read decoded), when available.
-    failed:
-        True if the client crashed before the operation completed.
-    """
-
-    op_id: str
-    kind: str
-    client: str
-    invoked_at: float
-    responded_at: Optional[float] = None
-    value: Optional[bytes] = None
-    tag: Optional[object] = None
-    failed: bool = False
-
-    @property
-    def is_complete(self) -> bool:
-        return self.responded_at is not None
-
-    @property
-    def duration(self) -> Optional[float]:
-        if self.responded_at is None:
-            return None
-        return self.responded_at - self.invoked_at
-
-    def precedes(self, other: "OperationRecord") -> bool:
-        """Real-time precedence: this op responded before the other was invoked."""
-        return self.responded_at is not None and self.responded_at < other.invoked_at
-
-    def concurrent_with(self, other: "OperationRecord") -> bool:
-        return not self.precedes(other) and not other.precedes(self)
+__all__ = ["READ", "WRITE", "History", "OperationRecord"]
 
 
-class History:
-    """An append-only log of operations."""
+class History(HistorySink):
+    """An append-only log of operations (the keep-everything sink)."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._ops: Dict[str, OperationRecord] = {}
         self._order: List[str] = []
+        # Lazily built per-kind interval index for concurrency_degree;
+        # invalidated whenever an operation is added or completes.
+        self._sweep_cache: Dict[Optional[str], Tuple[List[float], List[float]]] = {}
 
     # ------------------------------------------------------------------
-    # recording
+    # storage hooks
     # ------------------------------------------------------------------
-    def invoke(
-        self, op_id: str, kind: str, client: str, time: float, value: Optional[bytes] = None
-    ) -> OperationRecord:
-        if op_id in self._ops:
-            raise ValueError(f"duplicate operation id {op_id!r}")
-        if kind not in (WRITE, READ):
-            raise ValueError(f"unknown operation kind {kind!r}")
-        record = OperationRecord(
-            op_id=op_id, kind=kind, client=client, invoked_at=time, value=value
-        )
-        self._ops[op_id] = record
-        self._order.append(op_id)
-        return record
+    def _store(self, record: OperationRecord) -> None:
+        if record.op_id in self._ops:
+            raise ValueError(f"duplicate operation id {record.op_id!r}")
+        self._ops[record.op_id] = record
+        self._order.append(record.op_id)
+        self._sweep_cache.clear()
 
-    def respond(
-        self,
-        op_id: str,
-        time: float,
-        *,
-        value: Optional[bytes] = None,
-        tag: Optional[object] = None,
-    ) -> OperationRecord:
-        record = self._ops[op_id]
-        if record.responded_at is not None:
-            raise ValueError(f"operation {op_id!r} already completed")
-        if time < record.invoked_at:
-            raise ValueError("response cannot precede invocation")
-        record.responded_at = time
-        if value is not None:
-            record.value = value
-        if tag is not None:
-            record.tag = tag
-        return record
+    def _lookup(self, op_id: str) -> Optional[OperationRecord]:
+        return self._ops.get(op_id)
 
-    def mark_failed(self, op_id: str) -> None:
-        self._ops[op_id].failed = True
+    def _retire(self, record: OperationRecord) -> None:
+        self._sweep_cache.clear()
+
+    # ------------------------------------------------------------------
+    # recording extras
+    # ------------------------------------------------------------------
+    def record(self, record: OperationRecord) -> OperationRecord:
+        """Append a pre-built record (e.g. replayed off another sink).
+
+        Unlike :meth:`invoke` + :meth:`respond` this does not dispatch
+        observer events; it is a bulk-load path for copies and replays.
+        """
+        if record.kind not in (WRITE, READ):
+            raise ValueError(f"unknown operation kind {record.kind!r}")
+        self._store(record)
+        self.invoked_count += 1
+        if record.is_complete:
+            self.completed_count += 1
+        if record.failed:
+            self.failed_count += 1
+        return record
 
     # ------------------------------------------------------------------
     # queries
@@ -123,9 +83,6 @@ class History:
 
     def __iter__(self):
         return iter(self.operations())
-
-    def get(self, op_id: str) -> OperationRecord:
-        return self._ops[op_id]
 
     def operations(self) -> List[OperationRecord]:
         """All operations in invocation order."""
@@ -143,17 +100,42 @@ class History:
     def reads(self) -> List[OperationRecord]:
         return [op for op in self.operations() if op.kind == READ]
 
+    def _sweep_index(self, kind: Optional[str]) -> Tuple[List[float], List[float]]:
+        """Sorted invocation and response times of all ops of ``kind``
+        (response ``inf`` for incomplete ops), for interval counting."""
+        cached = self._sweep_cache.get(kind)
+        if cached is None:
+            ops = self.operations() if kind is None else [
+                op for op in self.operations() if op.kind == kind
+            ]
+            invocations = sorted(op.invoked_at for op in ops)
+            responses = sorted(
+                op.responded_at if op.responded_at is not None else math.inf
+                for op in ops
+            )
+            cached = (invocations, responses)
+            self._sweep_cache[kind] = cached
+        return cached
+
     def concurrency_degree(self, op: OperationRecord, kind: Optional[str] = None) -> int:
         """Number of other operations (optionally of a given kind) concurrent
-        with ``op`` — used to measure the paper's ``delta_w`` empirically."""
-        count = 0
-        for other in self.operations():
-            if other.op_id == op.op_id:
-                continue
-            if kind is not None and other.kind != kind:
-                continue
-            if op.concurrent_with(other):
-                count += 1
+        with ``op`` — used to measure the paper's ``delta_w`` empirically.
+
+        Implemented as an interval sweep over invocation/response times
+        sorted once per history (O(log n) per query after an O(n log n)
+        index build) instead of the former O(n) scan per query: an
+        operation is *not* concurrent with ``op`` exactly when it responded
+        strictly before ``op`` was invoked or was invoked strictly after
+        ``op`` responded, and those two sets are disjoint.
+        """
+        invocations, responses = self._sweep_index(kind)
+        end = op.responded_at if op.responded_at is not None else math.inf
+        total = len(invocations)
+        invoked_after = total - bisect.bisect_right(invocations, end)
+        responded_before = bisect.bisect_left(responses, op.invoked_at)
+        count = total - invoked_after - responded_before
+        if kind is None or op.kind == kind:
+            count -= 1  # exclude op itself
         return count
 
     def restricted_to_complete(self) -> "History":
@@ -161,8 +143,16 @@ class History:
         operate on complete histories, per Lemma 2.1)."""
         out = History()
         for op in self.complete_operations():
-            rec = out.invoke(op.op_id, op.kind, op.client, op.invoked_at, value=op.value)
-            rec.responded_at = op.responded_at
-            rec.tag = op.tag
-            rec.failed = op.failed
+            out.record(
+                OperationRecord(
+                    op_id=op.op_id,
+                    kind=op.kind,
+                    client=op.client,
+                    invoked_at=op.invoked_at,
+                    responded_at=op.responded_at,
+                    value=op.value,
+                    tag=op.tag,
+                    failed=op.failed,
+                )
+            )
         return out

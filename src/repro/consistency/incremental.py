@@ -1,0 +1,401 @@
+"""Incremental (online) atomicity checking for distinct-write-value registers.
+
+The Wing–Gong–Lowe checker in :mod:`repro.consistency.wgl` is exponential
+in the degree of concurrency and needs the whole history in memory.  This
+module checks the same property *online*, consuming the operation event
+stream as operations retire, in O(ops · frontier) time and with memory
+proportional to the number of distinct writes (two floats and a digest per
+write) — never the full history.  It is designed to hang off a
+:class:`~repro.consistency.stream.StreamingRecorder` as a
+:class:`~repro.consistency.stream.StreamObserver`.
+
+Theory (register specialisation with pairwise-distinct write values)
+--------------------------------------------------------------------
+Group every write ``w`` with the reads that returned its value into a
+*cluster* ``C(w)``.  In any linearisation of a register history the members
+of a cluster form a contiguous block (the write first, then its reads —
+any interposed write would change what the reads must return), so a
+linearisation is exactly a total order on clusters that respects real-time
+precedence between their members.  Summarise each cluster by
+
+* ``a(C)`` — the latest invocation time of any member, and
+* ``b(C)`` — the earliest response time of any member,
+
+so that "some member of C1 precedes some member of C2" is exactly
+``b(C1) < a(C2)``.  The history is linearizable iff
+
+1. no read responds before its write is invoked (the block is internally
+   feasible), and
+2. the cluster precedence digraph is acyclic.
+
+Because edges are threshold comparisons of the (a, b) summaries, any cycle
+contains a 2-cycle: take the cycle member ``Cm`` with minimal ``b``; the
+cycle supplies an edge into its predecessor's successor chain with
+``b(Cm) <= b(C_{m-2}) < a(C_{m-1})``, giving ``Cm -> C_{m-1}`` alongside
+the cycle's ``C_{m-1} -> Cm``.  Acyclicity therefore reduces to the
+*pairwise crossing test*: no two clusters with ``b(C1) < a(C2)`` and
+``b(C2) < a(C1)``.  This is the classical Gibbons–Korach style polynomial
+characterisation, evaluated incrementally here.
+
+Incomplete operations follow the WGL conventions: incomplete reads are
+ignored, and an incomplete write only matters once some completed read
+returned its value (its cluster then has ``b`` drawn from its reads, the
+write itself contributing ``+inf``); an unread incomplete write has
+``b = +inf`` and can never participate in a crossing, matching WGL
+discarding it.
+
+Frontier and memory bound
+-------------------------
+Clusters that can still change — the write or a read of its value is
+plausibly in flight — live in a bounded *frontier* dict checked pairwise.
+When the frontier overflows, the least-recently-updated cluster is folded
+into a compact staircase (b-sorted arrays with prefix-max of ``a``) that
+answers "is there a closed cluster with ``b < t`` and ``a > s``" in
+O(log n).  A late read of a closed cluster's value re-opens it (staircase
+rebuilt; rare by construction).  Write values are stored only as 16-byte
+BLAKE2 digests, so memory stays ~50 bytes per distinct write regardless of
+payload size.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.consistency.stream import WRITE, OperationRecord, StreamObserver
+
+#: Digest key of the distinguished initial value / any value at time -inf.
+_INITIAL = b"\x00" * 16
+
+
+def _value_key(value: Optional[bytes]) -> bytes:
+    if value is None:
+        value = b""
+    return hashlib.blake2b(value, digest_size=16).digest()
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected atomicity violation."""
+
+    kind: str
+    description: str
+    op_ids: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"[{self.kind}] {self.description}"
+
+
+@dataclass
+class _Cluster:
+    """Summary of one write and the reads that returned its value."""
+
+    write_id: str
+    max_inv: float  # a(C): latest member invocation
+    min_resp: float  # b(C): earliest member response (+inf while pending)
+    write_invoked: float
+    closed: bool = False
+
+
+class IncrementalAtomicityChecker(StreamObserver):
+    """Online register linearizability checker over an operation stream.
+
+    Subscribe it to any :class:`~repro.consistency.stream.HistorySink`::
+
+        recorder = StreamingRecorder(window=256)
+        checker = recorder.subscribe(IncrementalAtomicityChecker())
+        ... run the workload ...
+        result = checker.result()
+
+    or feed it records directly with :meth:`observe_invoke` /
+    :meth:`observe_complete` (aliases of the observer callbacks).
+    """
+
+    def __init__(
+        self,
+        *,
+        initial_value: bytes = b"",
+        frontier_limit: int = 256,
+        max_violations: int = 16,
+    ) -> None:
+        if frontier_limit < 1:
+            raise ValueError("frontier_limit must be positive")
+        self.initial_value = initial_value
+        self.frontier_limit = frontier_limit
+        self.max_violations = max_violations
+        self.violations: List[Violation] = []
+        self.ops_seen = 0
+        self.reads_checked = 0
+        self.reopened_clusters = 0
+
+        # value digest -> cluster (authoritative, one entry per write ever)
+        self._clusters: Dict[bytes, _Cluster] = {}
+        # open clusters in LRU order of last update (value digest keys)
+        self._frontier: Dict[bytes, None] = {}
+        # closed clusters: b-sorted arrays + prefix max of a
+        self._closed_b: List[float] = []
+        self._closed_a_prefix_max: List[float] = []
+        self._closed_a: List[float] = []
+        self._closed_ids: List[str] = []
+
+        initial = _Cluster(
+            write_id="<initial>",
+            max_inv=-math.inf,
+            min_resp=-math.inf,
+            write_invoked=-math.inf,
+        )
+        self._clusters[_value_key(initial_value)] = initial
+        self._frontier[_value_key(initial_value)] = None
+
+    # ------------------------------------------------------------------
+    # StreamObserver interface
+    # ------------------------------------------------------------------
+    def on_invoke(self, record: OperationRecord) -> None:
+        self.ops_seen += 1
+        if record.kind != WRITE:
+            return
+        key = _value_key(record.value)
+        if key in self._clusters:
+            self._flag(
+                Violation(
+                    "duplicate-write-value",
+                    f"write {record.op_id} repeats a previously written value; "
+                    f"the register checker requires pairwise distinct writes",
+                    (record.op_id,),
+                )
+            )
+            return
+        cluster = _Cluster(
+            write_id=record.op_id,
+            max_inv=record.invoked_at,
+            min_resp=math.inf,
+            write_invoked=record.invoked_at,
+        )
+        self._clusters[key] = cluster
+        self._open(key)
+
+    def on_complete(self, record: OperationRecord) -> None:
+        if record.kind == WRITE:
+            key = _value_key(record.value)
+            cluster = self._clusters.get(key)
+            if cluster is None:
+                # invoke was never observed (stream joined late): register now.
+                self.on_invoke(record)
+                cluster = self._clusters.get(key)
+            if cluster is None or cluster.write_id != record.op_id:
+                # Duplicate write value: flagged when its invoke was observed
+                # (re-dispatching to on_invoke here would double-count the op
+                # and append the violation a second time).
+                return
+            self._update(key, cluster, new_resp=record.responded_at)
+        else:
+            self.reads_checked += 1
+            key = _value_key(record.value)
+            cluster = self._clusters.get(key)
+            if cluster is None:
+                self._flag(
+                    Violation(
+                        "unwritten-value",
+                        f"read {record.op_id} returned a value no observed "
+                        f"write produced (and not the initial value)",
+                        (record.op_id,),
+                    )
+                )
+                return
+            if record.responded_at is not None and (
+                record.responded_at < cluster.write_invoked
+            ):
+                self._flag(
+                    Violation(
+                        "read-from-future",
+                        f"read {record.op_id} responded before its write "
+                        f"{cluster.write_id} was invoked",
+                        (record.op_id, cluster.write_id),
+                    )
+                )
+                return
+            self._update(
+                key,
+                cluster,
+                new_inv=record.invoked_at,
+                new_resp=record.responded_at,
+            )
+
+    # Direct-feed aliases for callers not going through a sink.
+    observe_invoke = on_invoke
+    observe_complete = on_complete
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def result(self) -> "IncrementalCheckResult":
+        return IncrementalCheckResult(
+            ok=self.ok,
+            violations=tuple(self.violations),
+            ops_seen=self.ops_seen,
+            reads_checked=self.reads_checked,
+            clusters=len(self._clusters),
+            frontier_size=len(self._frontier),
+        )
+
+    # ------------------------------------------------------------------
+    # cluster maintenance
+    # ------------------------------------------------------------------
+    def _flag(self, violation: Violation) -> None:
+        if len(self.violations) < self.max_violations:
+            self.violations.append(violation)
+
+    def _open(self, key: bytes) -> None:
+        """(Re)insert a cluster into the frontier, evicting LRU overflow."""
+        self._frontier.pop(key, None)
+        self._frontier[key] = None
+        while len(self._frontier) > self.frontier_limit:
+            old_key = next(iter(self._frontier))
+            del self._frontier[old_key]
+            self._close(self._clusters[old_key])
+
+    def _close(self, cluster: _Cluster) -> None:
+        cluster.closed = True
+        if cluster.min_resp == math.inf:
+            # Unread pending write: can never cross anything; drop from the
+            # staircase entirely (it stays in _clusters for value lookups).
+            return
+        index = bisect.bisect_left(self._closed_b, cluster.min_resp)
+        self._closed_b.insert(index, cluster.min_resp)
+        self._closed_a.insert(index, cluster.max_inv)
+        self._closed_ids.insert(index, cluster.write_id)
+        if index == len(self._closed_b) - 1 and (
+            not self._closed_a_prefix_max
+            or cluster.max_inv >= self._closed_a_prefix_max[-1]
+        ):
+            self._closed_a_prefix_max.append(cluster.max_inv)
+        else:
+            self._rebuild_prefix_max(start=index)
+
+    def _rebuild_prefix_max(self, start: int = 0) -> None:
+        running = self._closed_a_prefix_max[start - 1] if start > 0 else -math.inf
+        del self._closed_a_prefix_max[start:]
+        for a in self._closed_a[start:]:
+            running = max(running, a)
+            self._closed_a_prefix_max.append(running)
+
+    def _reopen(self, key: bytes, cluster: _Cluster) -> None:
+        """A closed cluster received a late event: pull it back and rebuild."""
+        self.reopened_clusters += 1
+        cluster.closed = False
+        if cluster.min_resp != math.inf:
+            index = bisect.bisect_left(self._closed_b, cluster.min_resp)
+            while index < len(self._closed_b):
+                if self._closed_ids[index] == cluster.write_id:
+                    del self._closed_b[index]
+                    del self._closed_a[index]
+                    del self._closed_ids[index]
+                    self._rebuild_prefix_max(start=index)
+                    break
+                if self._closed_b[index] != cluster.min_resp:
+                    break  # not in the staircase (should not happen)
+                index += 1
+        self._open(key)
+
+    def _update(
+        self,
+        key: bytes,
+        cluster: _Cluster,
+        *,
+        new_inv: Optional[float] = None,
+        new_resp: Optional[float] = None,
+    ) -> None:
+        if cluster.closed:
+            self._reopen(key, cluster)
+        else:
+            self._open(key)  # refresh LRU position
+        if new_inv is not None:
+            cluster.max_inv = max(cluster.max_inv, new_inv)
+        if new_resp is not None:
+            cluster.min_resp = min(cluster.min_resp, new_resp)
+        self._check_crossings(cluster)
+
+    # ------------------------------------------------------------------
+    # the pairwise crossing test
+    # ------------------------------------------------------------------
+    def _check_crossings(self, cluster: _Cluster) -> None:
+        """Flag if any other cluster crosses ``cluster``: b' < a and b < a'."""
+        if cluster.min_resp == math.inf:
+            return  # no member responded yet: cannot cross anything
+        # Frontier clusters: direct scan (bounded by frontier_limit).
+        for other_key in self._frontier:
+            other = self._clusters[other_key]
+            if other is cluster:
+                continue
+            if other.min_resp < cluster.max_inv and cluster.min_resp < other.max_inv:
+                self._flag(
+                    Violation(
+                        "cluster-cycle",
+                        f"operations around write {cluster.write_id} and write "
+                        f"{other.write_id} mutually precede each other; no "
+                        f"linearisation can order their blocks",
+                        (cluster.write_id, other.write_id),
+                    )
+                )
+                return
+        # Closed clusters: max a among those with b < a(cluster).
+        index = bisect.bisect_left(self._closed_b, cluster.max_inv)
+        if index > 0 and self._closed_a_prefix_max[index - 1] > cluster.min_resp:
+            self._flag(
+                Violation(
+                    "cluster-cycle",
+                    f"operations around write {cluster.write_id} and an "
+                    f"earlier retired write mutually precede each other; no "
+                    f"linearisation can order their blocks",
+                    (cluster.write_id,),
+                )
+            )
+
+
+@dataclass(frozen=True)
+class IncrementalCheckResult:
+    """Outcome of an incremental check: truthy iff no violation was seen."""
+
+    ok: bool
+    violations: Tuple[Violation, ...] = ()
+    ops_seen: int = 0
+    reads_checked: int = 0
+    clusters: int = 0
+    frontier_size: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_history_incrementally(
+    history, *, initial_value: bytes = b"", frontier_limit: int = 256
+) -> IncrementalCheckResult:
+    """Run the incremental checker over an already-recorded history.
+
+    This is the cross-validation entry point: it replays a
+    :class:`~repro.consistency.history.History` through the online checker
+    in event order (invocations by invocation time, completions by response
+    time), exactly as a live stream would have delivered them.
+    """
+    checker = IncrementalAtomicityChecker(
+        initial_value=initial_value, frontier_limit=frontier_limit
+    )
+    events: List[Tuple[float, int, OperationRecord]] = []
+    for op in history.operations():
+        events.append((op.invoked_at, 0, op))
+        if op.is_complete:
+            events.append((op.responded_at, 1, op))
+    events.sort(key=lambda e: (e[0], e[1]))
+    for _, phase, op in events:
+        if phase == 0:
+            checker.on_invoke(op)
+        else:
+            checker.on_complete(op)
+    return checker.result()

@@ -1,0 +1,258 @@
+"""The operation event stream: records, sinks and the bounded recorder.
+
+Every protocol client records its operations through the narrow
+:class:`HistorySink` interface — ``invoke`` / ``respond`` / ``mark_failed``
+/ ``get`` — instead of mutating history internals.  Two sinks implement it:
+
+* :class:`~repro.consistency.history.History` — the in-memory append-only
+  log used by tests, the WGL checker and the small-scale experiments;
+* :class:`StreamingRecorder` — a bounded/windowed recorder for long runs:
+  it keeps only the in-flight operations plus a fixed-size window of
+  recently retired ones, maintains aggregate counters, and forwards every
+  event to subscribed observers (e.g. the incremental atomicity checker in
+  :mod:`repro.consistency.incremental`), so a million-operation workload
+  can be checked without ever materialising its full history.
+
+Observers implement :class:`StreamObserver`; all callbacks receive the
+:class:`OperationRecord` being recorded, *after* the sink has applied the
+event to it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+WRITE = "write"
+READ = "read"
+
+
+@dataclass
+class OperationRecord:
+    """One client operation in an execution.
+
+    Attributes
+    ----------
+    op_id:
+        Unique identifier, also used to attribute communication cost.
+    kind:
+        ``"write"`` or ``"read"``.
+    client:
+        Process id of the invoking client.
+    invoked_at / responded_at:
+        Simulated times of the invocation and response steps; an operation
+        with ``responded_at is None`` is incomplete (its client may have
+        crashed, or the execution was truncated).
+    value:
+        For writes, the value written; for reads, the value returned.
+    tag:
+        The protocol-level tag associated with the operation (write tag or
+        the tag whose elements the read decoded), when available.
+    failed:
+        True if the client crashed before the operation completed.
+    """
+
+    op_id: str
+    kind: str
+    client: str
+    invoked_at: float
+    responded_at: Optional[float] = None
+    value: Optional[bytes] = None
+    tag: Optional[object] = None
+    failed: bool = False
+
+    @property
+    def is_complete(self) -> bool:
+        return self.responded_at is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.responded_at is None:
+            return None
+        return self.responded_at - self.invoked_at
+
+    def precedes(self, other: "OperationRecord") -> bool:
+        """Real-time precedence: this op responded before the other was invoked."""
+        return self.responded_at is not None and self.responded_at < other.invoked_at
+
+    def concurrent_with(self, other: "OperationRecord") -> bool:
+        return not self.precedes(other) and not other.precedes(self)
+
+
+class StreamObserver:
+    """Callbacks a sink invokes as operation events are recorded.
+
+    The default implementations are no-ops so observers only override the
+    events they care about.
+    """
+
+    def on_invoke(self, record: OperationRecord) -> None:  # pragma: no cover
+        pass
+
+    def on_complete(self, record: OperationRecord) -> None:  # pragma: no cover
+        pass
+
+    def on_failed(self, record: OperationRecord) -> None:  # pragma: no cover
+        pass
+
+
+class HistorySink(ABC):
+    """The narrow interface protocol clients record operations through.
+
+    Concrete sinks provide storage via :meth:`_store`, :meth:`_lookup` and
+    :meth:`_retire`; the event validation, record bookkeeping and observer
+    dispatch live here so every sink records identically.
+    """
+
+    def __init__(self) -> None:
+        self._observers: List[StreamObserver] = []
+        self.invoked_count = 0
+        self.completed_count = 0
+        self.failed_count = 0
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: StreamObserver) -> StreamObserver:
+        """Register an observer; returns it for chaining."""
+        self._observers.append(observer)
+        return observer
+
+    # ------------------------------------------------------------------
+    # recording (shared semantics)
+    # ------------------------------------------------------------------
+    def invoke(
+        self, op_id: str, kind: str, client: str, time: float, value: Optional[bytes] = None
+    ) -> OperationRecord:
+        if kind not in (WRITE, READ):
+            raise ValueError(f"unknown operation kind {kind!r}")
+        record = OperationRecord(
+            op_id=op_id, kind=kind, client=client, invoked_at=time, value=value
+        )
+        self._store(record)
+        self.invoked_count += 1
+        for observer in self._observers:
+            observer.on_invoke(record)
+        return record
+
+    def respond(
+        self,
+        op_id: str,
+        time: float,
+        *,
+        value: Optional[bytes] = None,
+        tag: Optional[object] = None,
+    ) -> OperationRecord:
+        record = self._require(op_id)
+        if record.responded_at is not None:
+            raise ValueError(f"operation {op_id!r} already completed")
+        if time < record.invoked_at:
+            raise ValueError("response cannot precede invocation")
+        record.responded_at = time
+        if value is not None:
+            record.value = value
+        if tag is not None:
+            record.tag = tag
+        self.completed_count += 1
+        for observer in self._observers:
+            observer.on_complete(record)
+        self._retire(record)
+        return record
+
+    def mark_failed(self, op_id: str) -> None:
+        record = self._require(op_id)
+        record.failed = True
+        self.failed_count += 1
+        for observer in self._observers:
+            observer.on_failed(record)
+        if not record.is_complete:
+            # A failed incomplete operation will never respond (its client
+            # crashed), so windowed sinks may retire it now — otherwise
+            # abandoned records would accumulate for the whole run.
+            self._retire(record)
+
+    def get(self, op_id: str) -> OperationRecord:
+        return self._require(op_id)
+
+    def _require(self, op_id: str) -> OperationRecord:
+        record = self._lookup(op_id)
+        if record is None:
+            raise ValueError(
+                f"unknown operation id {op_id!r}: never invoked on this "
+                f"recorder, or already evicted from its retirement window"
+            )
+        return record
+
+    # ------------------------------------------------------------------
+    # storage hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _store(self, record: OperationRecord) -> None:
+        """Remember a newly invoked operation (op_id already validated unique)."""
+
+    @abstractmethod
+    def _lookup(self, op_id: str) -> Optional[OperationRecord]:
+        """Find a resident operation, or None if unknown/evicted."""
+
+    def _retire(self, record: OperationRecord) -> None:
+        """Called after a record completes; windowed sinks may evict here."""
+
+
+class StreamingRecorder(HistorySink):
+    """A bounded-memory sink for long executions.
+
+    In-flight operations are always resident (clients are well-formed, so
+    their number is bounded by the client count); completed operations stay
+    resident in a FIFO window of ``window`` records and are then evicted.
+    Aggregate counters and the peak resident size survive eviction, so a
+    workload driver can still report completion ratios, and subscribed
+    observers (the incremental checker) see every event exactly once.
+    """
+
+    def __init__(self, window: int = 1024) -> None:
+        super().__init__()
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        self.window = window
+        self._active: Dict[str, OperationRecord] = {}
+        self._retired: "OrderedDict[str, OperationRecord]" = OrderedDict()
+        self.evicted_count = 0
+        self.max_resident = 0
+
+    # -- storage hooks ---------------------------------------------------
+    def _store(self, record: OperationRecord) -> None:
+        if record.op_id in self._active or record.op_id in self._retired:
+            raise ValueError(f"duplicate operation id {record.op_id!r}")
+        self._active[record.op_id] = record
+        self._note_resident()
+
+    def _lookup(self, op_id: str) -> Optional[OperationRecord]:
+        record = self._active.get(op_id)
+        if record is None:
+            record = self._retired.get(op_id)
+        return record
+
+    def _retire(self, record: OperationRecord) -> None:
+        self._active.pop(record.op_id, None)
+        self._retired[record.op_id] = record
+        while len(self._retired) > self.window:
+            self._retired.popitem(last=False)
+            self.evicted_count += 1
+        self._note_resident()
+
+    def _note_resident(self) -> None:
+        self.max_resident = max(self.max_resident, self.resident_count)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def resident_count(self) -> int:
+        """Number of records currently held in memory."""
+        return len(self._active) + len(self._retired)
+
+    def in_flight(self) -> List[OperationRecord]:
+        return list(self._active.values())
+
+    def __len__(self) -> int:
+        return self.invoked_count

@@ -117,7 +117,7 @@ class SodaCluster(RegisterCluster):
         if t2 is None:
             t2 = self.sim.now
         count = 0
-        for w in self.history.writes():
+        for w in self.full_history().writes():
             ends = w.responded_at if w.responded_at is not None else float("inf")
             if w.invoked_at <= t2 and ends >= t1:
                 count += 1

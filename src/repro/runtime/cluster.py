@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.consistency.history import History, OperationRecord
+from repro.consistency.stream import HistorySink
 from repro.erasure.batch import CachedEncoder
 from repro.erasure.mds import CodedElement, MDSCode
 from repro.metrics.costs import CommunicationCostTracker, StorageTracker
@@ -75,6 +76,7 @@ class RegisterCluster(ABC):
         delay_model: Optional[DelayModel] = None,
         initial_value: bytes = b"",
         keep_message_trace: bool = False,
+        recorder: Optional[HistorySink] = None,
     ) -> None:
         if n < 1:
             raise ValueError("need at least one server")
@@ -92,7 +94,11 @@ class RegisterCluster(ABC):
         self.sim = Simulation(
             seed=seed, delay_model=delay_model, keep_message_trace=keep_message_trace
         )
-        self.history = History()
+        # Clients record operations through the narrow HistorySink interface;
+        # the default sink is the keep-everything History, but long workloads
+        # can pass a bounded StreamingRecorder (with, e.g., the incremental
+        # atomicity checker subscribed) instead.
+        self.history: HistorySink = recorder if recorder is not None else History()
         self.costs = CommunicationCostTracker().attach(self.sim.network)
         self.storage = StorageTracker()
         self.failures = FailureInjector(self.sim)
@@ -173,21 +179,25 @@ class RegisterCluster(ABC):
     ) -> OperationRecord:
         """Perform a write and run the simulation until it completes."""
         op_id = self.writer(writer).start_write(value)
-        self.run_until_complete(op_id, max_events=max_events)
-        return self.history.get(op_id)
+        return self.run_until_complete(op_id, max_events=max_events)
 
     def read(
         self, reader: Union[int, str] = 0, *, max_events: int = 2_000_000
     ) -> OperationRecord:
         """Perform a read and run the simulation until it completes."""
         op_id = self.reader(reader).start_read()
-        self.run_until_complete(op_id, max_events=max_events)
-        return self.history.get(op_id)
+        return self.run_until_complete(op_id, max_events=max_events)
 
-    def run_until_complete(self, op_id: str, *, max_events: int = 2_000_000) -> None:
-        self.sim.run_until(
-            lambda: self.history.get(op_id).is_complete, max_events=max_events
-        )
+    def run_until_complete(
+        self, op_id: str, *, max_events: int = 2_000_000
+    ) -> OperationRecord:
+        # Hold the record itself rather than re-fetching by id each check:
+        # respond() mutates records in place, so this stays correct even
+        # when a windowed sink evicts the completed record immediately
+        # (e.g. a StreamingRecorder with a tiny window).
+        record = self.history.get(op_id)
+        self.sim.run_until(lambda: record.is_complete, max_events=max_events)
+        return record
 
     # ------------------------------------------------------------------
     # scheduled (concurrent) operations
@@ -291,15 +301,32 @@ class RegisterCluster(ABC):
     def storage_current(self) -> float:
         return self.storage.current_total
 
+    def full_history(self) -> History:
+        """The in-memory history, for analyses that need every operation.
+
+        Raises a descriptive error when the cluster records through a
+        bounded streaming sink (whole-history analyses are exactly what
+        streaming mode trades away; use stream observers instead).
+        """
+        if not isinstance(self.history, History):
+            raise TypeError(
+                f"{type(self).__name__} records through a "
+                f"{type(self.history).__name__}; whole-history analyses need "
+                f"the in-memory History sink (the default) — subscribe a "
+                f"stream observer for bounded-memory runs instead"
+            )
+        return self.history
+
     def latency_tracker(self) -> LatencyTracker:
         tracker = LatencyTracker()
-        tracker.record_operations(self.history.operations())
+        tracker.record_operations(self.full_history().operations())
         return tracker
 
     def summary(self) -> Dict[str, object]:
         """A compact dictionary of headline metrics for reports."""
-        writes = [op for op in self.history.writes() if op.is_complete]
-        reads = [op for op in self.history.reads() if op.is_complete]
+        history = self.full_history()
+        writes = [op for op in history.writes() if op.is_complete]
+        reads = [op for op in history.reads() if op.is_complete]
         write_costs = [self.operation_cost(op.op_id) for op in writes]
         read_costs = [self.operation_cost(op.op_id) for op in reads]
         return {

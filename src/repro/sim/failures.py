@@ -81,6 +81,33 @@ class CrashSchedule:
             schedule.add(candidates[int(idx)], float(rng.uniform(low, high)))
         return schedule
 
+    @staticmethod
+    def burst(
+        candidates: Sequence[ProcessId],
+        count: int,
+        rng: np.random.Generator,
+        *,
+        start_range: tuple[float, float] = (0.0, 10.0),
+        width: float = 0.1,
+    ) -> "CrashSchedule":
+        """A *correlated* crash burst: ``count`` random victims all crash
+        within ``width`` time units of a burst start drawn from
+        ``start_range`` — the rack-loses-power / cascading-failure shape,
+        as opposed to :meth:`random`'s independent crash times.
+        ``width=0`` crashes every victim at exactly the same instant.
+        """
+        if count > len(candidates):
+            raise ValueError("cannot crash more processes than there are candidates")
+        if width < 0:
+            raise ValueError("burst width must be non-negative")
+        chosen = rng.choice(len(candidates), size=count, replace=False)
+        start = float(rng.uniform(*start_range))
+        schedule = CrashSchedule()
+        for idx in chosen:
+            offset = float(rng.uniform(0.0, width)) if width else 0.0
+            schedule.add(candidates[int(idx)], start + offset)
+        return schedule
+
 
 class FailureInjector:
     """Arms a :class:`CrashSchedule` on a simulation."""

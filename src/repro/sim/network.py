@@ -24,7 +24,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from functools import partial
-from typing import TYPE_CHECKING, Callable, Hashable, List, Optional
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, List, Optional
 
 import numpy as np
 
@@ -112,6 +112,47 @@ class ExponentialDelay(DelayModel):
 
     def max_delay(self) -> Optional[float]:
         return self.cap
+
+
+class SlowDisk(DelayModel):
+    """Latency injection: messages *from* designated slow processes straggle.
+
+    Models servers whose local disk reads are slow (ROADMAP "slow-disk
+    latency injection"): every message a slow server sends — its replies to
+    clients and its relays to peers — is delayed by an extra ``extra`` time
+    units (plus optional uniform ``jitter``) on top of the wrapped base
+    delay model.  Wrapping the delay model keeps the hook protocol-agnostic:
+    any cluster accepts it through its ``delay_model`` parameter.
+    """
+
+    def __init__(
+        self,
+        base: DelayModel,
+        slow: Iterable[ProcessId],
+        *,
+        extra: float = 2.0,
+        jitter: float = 0.0,
+    ) -> None:
+        if extra < 0 or jitter < 0:
+            raise ValueError("extra delay and jitter must be non-negative")
+        self.base = base
+        self.slow = set(slow)
+        self.extra = extra
+        self.jitter = jitter
+
+    def sample(self, src: ProcessId, dst: ProcessId, rng: np.random.Generator) -> float:
+        delay = self.base.sample(src, dst, rng)
+        if src in self.slow:
+            delay += self.extra
+            if self.jitter:
+                delay += float(rng.uniform(0.0, self.jitter))
+        return delay
+
+    def max_delay(self) -> Optional[float]:
+        base_max = self.base.max_delay()
+        if base_max is None:
+            return None
+        return base_max + self.extra + self.jitter
 
 
 # ----------------------------------------------------------------------

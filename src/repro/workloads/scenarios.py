@@ -10,6 +10,9 @@ These are the workloads behind the cost experiments:
   of Theorem 5.6 (E4).
 * :func:`crash_heavy_scenario` — operations racing a maximal crash
   schedule, used for the liveness experiments (E7).
+* :func:`skewed_scenario` — a randomized mix with a configurable read
+  fraction, used by the skew sweep (read-heavy caches vs write-heavy
+  ingest shapes).
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ import numpy as np
 
 from repro.consistency.history import OperationRecord
 from repro.runtime.cluster import RegisterCluster
-from repro.workloads.generator import unique_value
+from repro.workloads.generator import WorkloadResult, unique_value
 
 
 @dataclass
@@ -96,6 +99,45 @@ def concurrent_read_scenario(
     cluster.run()
     assert read_handle.op_id is not None
     return cluster.history.get(read_handle.op_id)
+
+
+def skewed_scenario(
+    cluster: RegisterCluster,
+    *,
+    read_fraction: float = 0.5,
+    total_ops: int = 12,
+    window: float = 10.0,
+    value_size: int = 64,
+    seed: int = 0,
+):
+    """A randomized mix with ``read_fraction`` of the operations being reads.
+
+    Operations are spread uniformly over ``[0, window]`` and distributed
+    round-robin over the cluster's readers/writers; at the extremes this
+    reproduces a read-mostly cache (``read_fraction`` near 1) or a
+    write-heavy ingest workload (near 0).  Returns the
+    :class:`~repro.workloads.generator.WorkloadResult`.
+    """
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError("read_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    num_reads = int(round(total_ops * read_fraction))
+    num_writes = total_ops - num_reads
+    result = WorkloadResult(history=cluster.history)
+    values = [unique_value(i % cluster.num_writers, i, value_size, rng) for i in range(num_writes)]
+    cluster.warm_encode(values)
+    for i, value in enumerate(values):
+        at = float(rng.uniform(0.0, window))
+        result.write_handles.append(
+            cluster.schedule_write(at, value, writer=i % cluster.num_writers)
+        )
+    for i in range(num_reads):
+        at = float(rng.uniform(0.0, window))
+        result.read_handles.append(
+            cluster.schedule_read(at, reader=i % cluster.num_readers)
+        )
+    cluster.run()
+    return result
 
 
 def crash_heavy_scenario(

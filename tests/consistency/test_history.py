@@ -1,5 +1,6 @@
 """Tests for operation history recording."""
 
+import numpy as np
 import pytest
 
 from repro.consistency.history import READ, WRITE, History
@@ -101,3 +102,41 @@ class TestQueries:
         assert all(op.is_complete for op in restricted.operations())
         # Original history is untouched.
         assert len(h) == 3
+
+    def test_unknown_op_id_raises_descriptive_valueerror(self):
+        h = self.build()
+        with pytest.raises(ValueError, match="unknown operation id 'missing'"):
+            h.get("missing")
+        with pytest.raises(ValueError, match="unknown operation id"):
+            h.mark_failed("missing")
+
+    def test_concurrency_degree_matches_brute_force(self):
+        """The interval-sweep implementation against the O(n^2) definition."""
+        rng = np.random.default_rng(5)
+        h = History()
+        for i in range(120):
+            kind = WRITE if rng.random() < 0.5 else READ
+            inv = float(rng.uniform(0, 50))
+            h.invoke(f"op{i}", kind, f"c{i % 7}", inv)
+        for i in range(120):
+            if rng.random() < 0.2:
+                continue  # leave some incomplete
+            op = h.get(f"op{i}")
+            h.respond(f"op{i}", op.invoked_at + float(rng.uniform(0.0, 8.0)))
+        for kind in (None, WRITE, READ):
+            for op in h.operations():
+                brute = sum(
+                    1
+                    for other in h.operations()
+                    if other.op_id != op.op_id
+                    and (kind is None or other.kind == kind)
+                    and op.concurrent_with(other)
+                )
+                assert h.concurrency_degree(op, kind=kind) == brute
+
+    def test_concurrency_degree_index_invalidated_by_new_ops(self):
+        h = self.build()
+        r1 = h.get("r1")
+        assert h.concurrency_degree(r1) == 1
+        h.invoke("w3", WRITE, "w1", 1.5)  # concurrent with r1
+        assert h.concurrency_degree(r1) == 2

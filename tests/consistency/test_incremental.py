@@ -1,0 +1,253 @@
+"""Tests for the incremental online atomicity checker.
+
+The core property: on any history the offline WGL search can handle, the
+incremental checker must return the same verdict — both on randomized
+linearizable-by-construction histories and on histories with seeded
+violations.  On top of that, streaming-scale tests drive it through the
+bounded recorder where the in-memory ``History`` is never materialised.
+"""
+
+import numpy as np
+import pytest
+
+from repro.consistency.history import READ, WRITE, History
+from repro.consistency.incremental import (
+    IncrementalAtomicityChecker,
+    check_history_incrementally,
+)
+from repro.consistency.stream import StreamingRecorder
+from repro.consistency.wgl import check_linearizability
+from repro.workloads.generator import StreamSpec, stream_operations
+
+
+def _random_history(rng, *, clients=4, ops_per_client=6, corrupt=False):
+    """A history that is linearizable by construction (operations take
+    effect at sampled linearization points); ``corrupt=True`` afterwards
+    rewrites one completed read to return some other write's value."""
+    ops = []
+    for client in range(clients):
+        t = float(rng.uniform(0, 2))
+        for i in range(ops_per_client):
+            duration = float(rng.uniform(0.2, 3.0))
+            kind = WRITE if rng.random() < 0.5 else READ
+            lin = t + float(rng.uniform(0.0, duration))
+            ops.append(
+                {
+                    "op_id": f"c{client}o{i}",
+                    "kind": kind,
+                    "client": f"c{client}",
+                    "inv": t,
+                    "resp": t + duration,
+                    "lin": lin,
+                }
+            )
+            t += duration + float(rng.uniform(0.01, 1.0))
+    value = b""
+    write_sequence = 0
+    for op in sorted(ops, key=lambda o: o["lin"]):
+        if op["kind"] == WRITE:
+            value = f"v{write_sequence}".encode()
+            write_sequence += 1
+            op["value"] = value
+        else:
+            op["value"] = value
+    h = History()
+    for op in sorted(ops, key=lambda o: o["inv"]):
+        h.invoke(
+            op["op_id"],
+            op["kind"],
+            op["client"],
+            op["inv"],
+            value=op["value"] if op["kind"] == WRITE else None,
+        )
+    for op in sorted(ops, key=lambda o: o["resp"]):
+        if rng.random() < 0.1:
+            continue  # leave some operations incomplete
+        h.respond(
+            op["op_id"],
+            op["resp"],
+            value=None if op["kind"] == WRITE else op["value"],
+        )
+    if corrupt:
+        reads = [op for op in h.operations() if op.kind == READ and op.is_complete]
+        writes = [op for op in h.operations() if op.kind == WRITE]
+        if reads and writes:
+            victim = reads[int(rng.integers(0, len(reads)))]
+            victim.value = writes[int(rng.integers(0, len(writes)))].value
+    return h
+
+
+class TestEquivalenceWithWGL:
+    @pytest.mark.parametrize("corrupt", [False, True])
+    def test_verdicts_agree_on_randomized_histories(self, corrupt):
+        rng = np.random.default_rng(7 if corrupt else 3)
+        checked = 0
+        for _ in range(60):
+            history = _random_history(rng, corrupt=corrupt)
+            try:
+                wgl_verdict = bool(check_linearizability(history, initial_value=b""))
+            except ValueError:
+                continue  # corruption produced duplicate write values
+            incremental_verdict = bool(
+                check_history_incrementally(history, initial_value=b"")
+            )
+            assert incremental_verdict == wgl_verdict
+            checked += 1
+        assert checked >= 40
+
+    def test_small_frontier_does_not_change_verdicts(self):
+        rng = np.random.default_rng(11)
+        for trial in range(30):
+            history = _random_history(rng, corrupt=trial % 2 == 1)
+            wgl_verdict = bool(check_linearizability(history, initial_value=b""))
+            tiny = bool(
+                check_history_incrementally(
+                    history, initial_value=b"", frontier_limit=2
+                )
+            )
+            assert tiny == wgl_verdict
+
+
+class TestDirectViolations:
+    def test_stale_read_flagged(self):
+        h = History()
+        h.invoke("w1", WRITE, "c0", 0.0, value=b"a")
+        h.respond("w1", 1.0)
+        h.invoke("w2", WRITE, "c0", 2.0, value=b"b")
+        h.respond("w2", 3.0)
+        h.invoke("r1", READ, "c1", 4.0)
+        h.respond("r1", 5.0, value=b"a")  # stale: w2 fully preceded r1
+        result = check_history_incrementally(h)
+        assert not result
+        assert result.violations[0].kind == "cluster-cycle"
+
+    def test_read_monotonicity_violation_flagged(self):
+        h = History()
+        h.invoke("w1", WRITE, "c0", 0.0, value=b"a")
+        h.invoke("w2", WRITE, "c1", 0.0, value=b"b")
+        h.respond("w1", 1.0)
+        h.respond("w2", 1.0)
+        h.invoke("r1", READ, "c2", 2.0)
+        h.respond("r1", 3.0, value=b"a")
+        h.invoke("r2", READ, "c2", 4.0)
+        h.respond("r2", 5.0, value=b"b")
+        h.invoke("r3", READ, "c2", 6.0)
+        h.respond("r3", 7.0, value=b"a")  # a, b, a cannot be linearized
+        assert not check_history_incrementally(h)
+        assert not check_linearizability(h, initial_value=b"")
+
+    def test_unwritten_value_flagged(self):
+        h = History()
+        h.invoke("r1", READ, "c0", 0.0)
+        h.respond("r1", 1.0, value=b"phantom")
+        result = check_history_incrementally(h)
+        assert not result
+        assert result.violations[0].kind == "unwritten-value"
+
+    def test_stale_initial_read_flagged(self):
+        h = History()
+        h.invoke("w1", WRITE, "c0", 0.0, value=b"a")
+        h.respond("w1", 1.0)
+        h.invoke("r1", READ, "c1", 2.0)
+        h.respond("r1", 3.0, value=b"")  # initial value after w1 completed
+        assert not check_history_incrementally(h, initial_value=b"")
+
+    def test_duplicate_write_value_flagged_once(self):
+        h = History()
+        h.invoke("w1", WRITE, "c0", 0.0, value=b"same")
+        h.respond("w1", 1.0)
+        h.invoke("w2", WRITE, "c1", 2.0, value=b"same")
+        h.respond("w2", 3.0)
+        result = check_history_incrementally(h)
+        assert not result
+        duplicates = [v for v in result.violations if v.kind == "duplicate-write-value"]
+        assert len(duplicates) == 1
+        # ops_seen counts invocations; the duplicate's completion must not
+        # re-dispatch through on_invoke and inflate it.
+        assert result.ops_seen == 2
+
+    def test_clean_sequence_passes(self):
+        h = History()
+        h.invoke("w1", WRITE, "c0", 0.0, value=b"a")
+        h.respond("w1", 1.0)
+        h.invoke("r1", READ, "c1", 2.0)
+        h.respond("r1", 3.0, value=b"a")
+        result = check_history_incrementally(h)
+        assert result
+        assert result.reads_checked == 1
+
+    def test_incomplete_unread_write_ignored(self):
+        h = History()
+        h.invoke("w1", WRITE, "c0", 0.0, value=b"a")
+        h.respond("w1", 1.0)
+        h.invoke("w2", WRITE, "c1", 2.0, value=b"b")  # never responds
+        h.invoke("r1", READ, "c2", 10.0)
+        h.respond("r1", 11.0, value=b"a")  # reading a is fine: w2 may not
+        assert check_history_incrementally(h)  # have taken effect
+
+    def test_pending_write_read_must_be_ordered(self):
+        h = History()
+        h.invoke("w1", WRITE, "c0", 0.0, value=b"a")
+        h.respond("w1", 1.0)
+        h.invoke("w2", WRITE, "c1", 2.0, value=b"b")  # never responds
+        h.invoke("r1", READ, "c2", 3.0)
+        h.respond("r1", 4.0, value=b"b")  # w2 took effect
+        h.invoke("r2", READ, "c2", 5.0)
+        h.respond("r2", 6.0, value=b"a")  # ...so reading a afterwards is stale
+        assert not check_history_incrementally(h)
+        assert not check_linearizability(h, initial_value=b"")
+
+
+class TestStreamingScale:
+    def test_hundred_thousand_ops_bounded_memory(self):
+        """The acceptance run: >=100k streamed operations checked online
+        under a bounded recorder — no in-memory History anywhere."""
+        recorder = StreamingRecorder(window=128)
+        checker = recorder.subscribe(IncrementalAtomicityChecker())
+        stats = stream_operations(
+            StreamSpec(
+                operations=100_000,
+                clients=16,
+                incomplete_fraction=0.0005,
+                seed=29,
+            ),
+            recorder,
+        )
+        assert stats.invoked == 100_000
+        assert checker.ok, checker.violations
+        assert checker.reads_checked > 10_000
+        # Crashed clients' abandoned ops are marked failed and retired, so
+        # they cannot accumulate in the recorder's active set.
+        assert recorder.failed_count > 0
+        assert len(recorder.in_flight()) <= 16
+        # Residency stays near window + in-flight, orders of magnitude
+        # below the operation count.
+        assert recorder.max_resident < 1_000
+
+    def test_stale_injection_raises_when_impossible(self):
+        """A pure-read stream has nothing to overwrite: the generator must
+        refuse rather than silently emit a clean stream."""
+        recorder = StreamingRecorder(window=16)
+        with pytest.raises(RuntimeError, match="could not inject a stale read"):
+            stream_operations(
+                StreamSpec(operations=50, clients=4, read_fraction=1.0, inject="stale", seed=1),
+                recorder,
+            )
+
+    @pytest.mark.parametrize("mode", ["stale", "phantom"])
+    def test_streamed_injection_is_caught(self, mode):
+        recorder = StreamingRecorder(window=64)
+        checker = recorder.subscribe(IncrementalAtomicityChecker())
+        stats = stream_operations(
+            StreamSpec(operations=3_000, clients=8, inject=mode, seed=31), recorder
+        )
+        assert stats.injected_violation == mode
+        assert not checker.ok
+
+    def test_streamed_clean_run_verified_against_wgl_on_sample(self):
+        """Stream a small workload into BOTH sinks and cross-validate."""
+        history = History()
+        checker = history.subscribe(IncrementalAtomicityChecker())
+        stream_operations(StreamSpec(operations=120, clients=4, seed=37), history)
+        assert checker.ok
+        assert check_linearizability(history, initial_value=b"")

@@ -1,0 +1,192 @@
+"""Tests for the operation event stream: sinks, observers, bounded memory."""
+
+import pytest
+
+from repro.consistency.history import History
+from repro.consistency.stream import (
+    READ,
+    WRITE,
+    OperationRecord,
+    StreamingRecorder,
+    StreamObserver,
+)
+
+
+class _CollectingObserver(StreamObserver):
+    def __init__(self):
+        self.invoked = []
+        self.completed = []
+        self.failed = []
+
+    def on_invoke(self, record):
+        self.invoked.append(record.op_id)
+
+    def on_complete(self, record):
+        self.completed.append(record.op_id)
+
+    def on_failed(self, record):
+        self.failed.append(record.op_id)
+
+
+class TestObserverDispatch:
+    @pytest.mark.parametrize("sink_factory", [History, StreamingRecorder])
+    def test_events_reach_observer(self, sink_factory):
+        sink = sink_factory()
+        observer = sink.subscribe(_CollectingObserver())
+        sink.invoke("w1", WRITE, "c0", 0.0, value=b"a")
+        sink.invoke("r1", READ, "c1", 0.5)
+        sink.respond("w1", 1.0, tag="t")
+        sink.mark_failed("r1")
+        assert observer.invoked == ["w1", "r1"]
+        assert observer.completed == ["w1"]
+        assert observer.failed == ["r1"]
+
+    @pytest.mark.parametrize("sink_factory", [History, StreamingRecorder])
+    def test_counters(self, sink_factory):
+        sink = sink_factory()
+        sink.invoke("w1", WRITE, "c0", 0.0, value=b"a")
+        sink.invoke("w2", WRITE, "c0", 2.0, value=b"b")
+        sink.respond("w1", 1.0)
+        assert sink.invoked_count == 2
+        assert sink.completed_count == 1
+
+    def test_observer_sees_final_record_state(self):
+        sink = StreamingRecorder()
+        seen = {}
+
+        class Check(StreamObserver):
+            def on_complete(self, record):
+                seen["value"] = record.value
+                seen["responded_at"] = record.responded_at
+
+        sink.subscribe(Check())
+        sink.invoke("r1", READ, "c0", 0.0)
+        sink.respond("r1", 2.0, value=b"result")
+        assert seen == {"value": b"result", "responded_at": 2.0}
+
+
+class TestSharedValidation:
+    @pytest.mark.parametrize("sink_factory", [History, StreamingRecorder])
+    def test_unknown_kind_rejected(self, sink_factory):
+        with pytest.raises(ValueError):
+            sink_factory().invoke("op", "delete", "c", 0.0)
+
+    @pytest.mark.parametrize("sink_factory", [History, StreamingRecorder])
+    def test_duplicate_op_id_rejected(self, sink_factory):
+        sink = sink_factory()
+        sink.invoke("op", WRITE, "w0", 0.0)
+        with pytest.raises(ValueError):
+            sink.invoke("op", READ, "r0", 1.0)
+
+    @pytest.mark.parametrize("sink_factory", [History, StreamingRecorder])
+    def test_unknown_op_id_is_descriptive_valueerror(self, sink_factory):
+        sink = sink_factory()
+        with pytest.raises(ValueError, match="unknown operation id 'nope'"):
+            sink.get("nope")
+        with pytest.raises(ValueError, match="unknown operation id"):
+            sink.mark_failed("nope")
+        with pytest.raises(ValueError, match="unknown operation id"):
+            sink.respond("nope", 1.0)
+
+
+class TestStreamingRecorderBoundedMemory:
+    def test_window_bounds_resident_records(self):
+        recorder = StreamingRecorder(window=10)
+        for i in range(500):
+            recorder.invoke(f"op{i}", WRITE, "c0", float(i), value=str(i).encode())
+            recorder.respond(f"op{i}", float(i) + 0.5)
+        assert recorder.invoked_count == 500
+        assert recorder.completed_count == 500
+        assert recorder.evicted_count == 490
+        assert recorder.resident_count <= 11
+        # max_resident includes the in-flight op on top of the full window.
+        assert recorder.max_resident <= 12
+
+    def test_in_flight_ops_always_resident(self):
+        recorder = StreamingRecorder(window=2)
+        for i in range(50):
+            recorder.invoke(f"pending{i}", WRITE, f"c{i}", float(i))
+        assert recorder.resident_count == 50  # nothing retired yet
+        assert all(not op.is_complete for op in recorder.in_flight())
+        recorder.respond("pending7", 100.0)
+        assert recorder.get("pending7").is_complete
+
+    def test_evicted_op_lookup_raises(self):
+        recorder = StreamingRecorder(window=1)
+        recorder.invoke("a", WRITE, "c0", 0.0)
+        recorder.respond("a", 1.0)
+        recorder.invoke("b", WRITE, "c0", 2.0)
+        recorder.respond("b", 3.0)  # evicts "a"
+        with pytest.raises(ValueError, match="evicted"):
+            recorder.get("a")
+        assert recorder.get("b").is_complete
+
+    def test_failed_incomplete_op_is_retired(self):
+        """Abandoned (crashed-client) operations must not stay resident
+        forever — mark_failed retires them into the bounded window."""
+        recorder = StreamingRecorder(window=4)
+        for i in range(100):
+            recorder.invoke(f"op{i}", WRITE, f"c{i}", float(i))
+            recorder.mark_failed(f"op{i}")
+        assert recorder.failed_count == 100
+        assert recorder.resident_count <= 4
+        assert not recorder.in_flight()
+
+    def test_zero_window_retires_immediately(self):
+        recorder = StreamingRecorder(window=0)
+        recorder.invoke("a", WRITE, "c0", 0.0)
+        recorder.respond("a", 1.0)
+        assert recorder.resident_count == 0
+        assert recorder.evicted_count == 1
+
+
+class TestClusterWithStreamingRecorder:
+    def test_blocking_ops_survive_tiny_window(self):
+        """Blocking write/read must work even when the completed record is
+        evicted from the sink immediately (window=0)."""
+        from repro.core import SodaCluster
+
+        cluster = SodaCluster(n=5, f=2, seed=1, recorder=StreamingRecorder(window=0))
+        write = cluster.write(b"payload")
+        read = cluster.read()
+        assert write.is_complete
+        assert read.value == b"payload"
+        assert cluster.history.completed_count == 2
+
+    def test_whole_history_analyses_raise_descriptively(self):
+        from repro.core import SodaCluster
+
+        cluster = SodaCluster(n=5, f=2, seed=2, recorder=StreamingRecorder(window=8))
+        with pytest.raises(TypeError, match="StreamingRecorder"):
+            cluster.summary()
+        read = cluster.read()
+        # Every whole-history entry point routes through the same guard
+        # instead of crashing with an AttributeError deep inside.
+        with pytest.raises(TypeError, match="StreamingRecorder"):
+            cluster.measured_delta_w(read.op_id)
+        with pytest.raises(TypeError, match="StreamingRecorder"):
+            cluster.latency_tracker()
+
+
+class TestHistoryRecordBulkLoad:
+    def test_record_appends_prebuilt(self):
+        h = History()
+        h.record(
+            OperationRecord(
+                op_id="w1",
+                kind=WRITE,
+                client="c0",
+                invoked_at=0.0,
+                responded_at=1.0,
+                value=b"a",
+            )
+        )
+        assert h.get("w1").is_complete
+        assert h.completed_count == 1
+
+    def test_record_rejects_bad_kind(self):
+        h = History()
+        with pytest.raises(ValueError):
+            h.record(
+                OperationRecord(op_id="x", kind="delete", client="c", invoked_at=0.0)
+            )

@@ -60,3 +60,31 @@ class TestExperiments:
 
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "nonsense"]) == 2
+
+
+class TestSweepCommand:
+    def test_list_sweeps(self, capsys):
+        assert main(["experiment", "sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "storage" in out and "slow-disk" in out
+
+    def test_no_name_lists_sweeps(self, capsys):
+        assert main(["experiment", "sweep"]) == 0
+        assert "Available sweeps" in capsys.readouterr().out
+
+    def test_run_storage_sweep(self, capsys):
+        assert main(["experiment", "sweep", "storage", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "measured=" in out and "predicted=" in out
+
+    def test_run_sweep_with_jobs(self, capsys):
+        assert main(["experiment", "sweep", "tradeoff", "--jobs", "2"]) == 0
+        assert "casgc_storage=" in capsys.readouterr().out
+
+    def test_unknown_sweep(self, capsys):
+        assert main(["experiment", "sweep", "nonsense"]) == 2
+        assert "unknown sweep" in capsys.readouterr().err
+
+    def test_stray_positional_rejected_for_non_sweep(self, capsys):
+        assert main(["experiment", "atomicity", "CASGC", "--executions", "1"]) == 2
+        assert "unexpected argument" in capsys.readouterr().err

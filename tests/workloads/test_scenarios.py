@@ -1,13 +1,18 @@
 """Tests for the hand-crafted experiment scenarios."""
 
+import numpy as np
 import pytest
 
 from repro.baselines.abd import AbdCluster
+from repro.consistency import check_linearizability
 from repro.core import SodaCluster
+from repro.sim.failures import CrashSchedule
+from repro.sim.network import SlowDisk, UniformDelay
 from repro.workloads.scenarios import (
     concurrent_read_scenario,
     crash_heavy_scenario,
     sequential_scenario,
+    skewed_scenario,
 )
 
 
@@ -73,3 +78,78 @@ class TestCrashHeavyScenario:
         result = crash_heavy_scenario(c, num_writes=2, num_reads=2, seed=10)
         assert result.all_complete
         assert c.sim.crashed_processes() == []
+
+
+class TestSkewedScenario:
+    def test_read_fraction_controls_mix(self):
+        c = SodaCluster(n=5, f=2, num_writers=2, num_readers=2, seed=7)
+        result = skewed_scenario(c, read_fraction=0.75, total_ops=12, seed=11)
+        assert len(result.read_handles) == 9
+        assert len(result.write_handles) == 3
+        assert result.completed_operations == 12
+        assert check_linearizability(c.history, initial_value=b"")
+
+    def test_pure_write_workload(self):
+        c = SodaCluster(n=5, f=2, num_writers=2, seed=8)
+        result = skewed_scenario(c, read_fraction=0.0, total_ops=6, seed=12)
+        assert result.read_handles == []
+        assert len(result.write_handles) == 6
+
+    def test_invalid_fraction_rejected(self):
+        c = SodaCluster(n=5, f=2, seed=9)
+        with pytest.raises(ValueError):
+            skewed_scenario(c, read_fraction=1.5)
+
+
+class TestCrashBurst:
+    def test_burst_times_are_correlated(self):
+        rng = np.random.default_rng(0)
+        schedule = CrashSchedule.burst(
+            [f"s{i}" for i in range(9)], 4, rng, start_range=(2.0, 5.0), width=0.2
+        )
+        times = [e.time for e in schedule]
+        assert len(schedule) == 4
+        assert max(times) - min(times) <= 0.2
+        assert 2.0 <= min(times) <= 5.2
+
+    def test_zero_width_is_simultaneous(self):
+        rng = np.random.default_rng(1)
+        schedule = CrashSchedule.burst(["s0", "s1", "s2"], 3, rng, width=0.0)
+        assert len({e.time for e in schedule}) == 1
+
+    def test_too_many_victims_rejected(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            CrashSchedule.burst(["s0"], 2, rng)
+
+    def test_cluster_survives_simultaneous_f_burst(self):
+        c = SodaCluster(n=5, f=2, num_writers=2, num_readers=2, seed=13)
+        rng = np.random.default_rng(3)
+        schedule = CrashSchedule.burst(
+            c.server_ids, 2, rng, start_range=(1.0, 2.0), width=0.0
+        )
+        c.apply_crash_schedule(schedule)
+        result = sequential_scenario(c, num_writes=2, num_reads=2, seed=14)
+        assert result.all_complete
+
+
+class TestSlowDisk:
+    def test_extra_delay_applied_to_slow_sources_only(self):
+        rng = np.random.default_rng(0)
+        model = SlowDisk(UniformDelay(0.1, 0.2), slow=["s0"], extra=3.0)
+        assert model.sample("s0", "r0", rng) >= 3.1
+        assert model.sample("s1", "r0", rng) <= 0.2
+
+    def test_max_delay_accounts_for_injection(self):
+        model = SlowDisk(UniformDelay(0.1, 1.0), slow=["s0"], extra=2.0, jitter=0.5)
+        assert model.max_delay() == pytest.approx(3.5)
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(ValueError):
+            SlowDisk(UniformDelay(), slow=[], extra=-1.0)
+
+    def test_cluster_still_completes_with_straggler(self):
+        model = SlowDisk(UniformDelay(0.1, 1.0), slow=["s0"], extra=4.0)
+        c = SodaCluster(n=5, f=2, seed=15, delay_model=model)
+        result = sequential_scenario(c, num_writes=2, num_reads=2, seed=16)
+        assert result.all_complete
