@@ -16,9 +16,18 @@
   latency, SODAerr, atomicity, trade-off ablation, scenario sweeps); each
   is a thin wrapper over the sweep engine, used by both the benchmark
   harness and the CLI.
+* :mod:`repro.analysis.longrun` — the scaled streaming-run engine: one
+  long real-cluster execution sharded into epochs over the sweep pool,
+  checked online under bounded memory, with per-shard verdicts merged by
+  :mod:`repro.consistency.shardmerge` (``experiment longrun``).
 """
 
 from repro.analysis import theoretical
+from repro.analysis.longrun import (
+    LongRunReport,
+    run_longrun,
+    write_longrun_artefacts,
+)
 from repro.analysis.tables import format_table, generate_table1
 from repro.analysis.sweep import SweepPoint, SweepSpec, derive_seed, run_sweep
 from repro.analysis.experiments import (
@@ -39,6 +48,9 @@ __all__ = [
     "theoretical",
     "generate_table1",
     "format_table",
+    "LongRunReport",
+    "run_longrun",
+    "write_longrun_artefacts",
     "SweepPoint",
     "SweepSpec",
     "derive_seed",

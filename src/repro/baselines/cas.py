@@ -131,18 +131,22 @@ class CasServer(Process):
         self.gc_depth = gc_depth
         self.storage_tracker = storage_tracker
         self.versions: Dict[Tag, _StoredVersion] = {}
+        # Incremental views of ``versions`` so the hot paths stay O(1) as
+        # the version map grows over a long run: the max finalized tag
+        # (every query used to scan all versions) and the set of tags that
+        # still hold a coded element (storage accounting used to sum over
+        # all versions, GC used to sort them).
+        self._max_finalized: Tag = TAG_ZERO
+        self._with_elements: Set[Tag] = set()
         if initial_element is not None:
             self.versions[TAG_ZERO] = _StoredVersion(element=initial_element, finalized=True)
+            self._with_elements.add(TAG_ZERO)
         self.gc_evictions = 0
 
     # -- storage accounting ---------------------------------------------
     @property
     def stored_data_units(self) -> float:
-        return sum(
-            self.code.element_data_units
-            for v in self.versions.values()
-            if v.element is not None
-        )
+        return len(self._with_elements) * self.code.element_data_units
 
     def _notify_storage(self) -> None:
         if self.storage_tracker is not None:
@@ -155,17 +159,20 @@ class CasServer(Process):
     # -- request handling -------------------------------------------------
     def on_message(self, sender: str, message: object) -> None:
         if isinstance(message, CasQueryRequest):
-            finalized = [t for t, v in self.versions.items() if v.finalized]
-            tag = max_tag(finalized) if finalized else TAG_ZERO
-            self.send(sender, CasQueryResponse(op_id=message.op_id, tag=tag))
+            self.send(
+                sender,
+                CasQueryResponse(op_id=message.op_id, tag=self._max_finalized),
+            )
         elif isinstance(message, CasPreWriteRequest):
             existing = self.versions.get(message.tag)
             if existing is None:
                 self.versions[message.tag] = _StoredVersion(
                     element=message.element, finalized=False
                 )
+                self._with_elements.add(message.tag)
             elif existing.element is None:
                 existing.element = message.element
+                self._with_elements.add(message.tag)
             self._garbage_collect()
             self._notify_storage()
             self.send(sender, CasPreWriteAck(op_id=message.op_id, tag=message.tag))
@@ -176,6 +183,8 @@ class CasServer(Process):
                 self.versions[message.tag] = version
             else:
                 version.finalized = True
+            if message.tag > self._max_finalized:
+                self._max_finalized = message.tag
             self._garbage_collect()
             self._notify_storage()
             element = version.element if message.reply_with_element else None
@@ -196,12 +205,12 @@ class CasServer(Process):
     def _garbage_collect(self) -> None:
         if self.gc_depth is None:
             return
-        tags_with_elements = sorted(
-            (t for t, v in self.versions.items() if v.element is not None),
-            reverse=True,
-        )
+        # ``_with_elements`` is bounded by gc_depth + 1 + in-flight writes,
+        # so this sort stays O(delta log delta) however long the run is.
+        tags_with_elements = sorted(self._with_elements, reverse=True)
         for tag in tags_with_elements[self.gc_depth + 1 :]:
             self.versions[tag].element = None
+            self._with_elements.discard(tag)
             self.gc_evictions += 1
 
 

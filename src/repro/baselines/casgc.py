@@ -15,7 +15,6 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.baselines.cas import CasCluster
-from repro.sim.network import DelayModel
 
 
 class CasGcCluster(CasCluster):
@@ -29,27 +28,13 @@ class CasGcCluster(CasCluster):
         f: int,
         *,
         delta: int = 0,
-        num_writers: int = 1,
-        num_readers: int = 1,
-        seed: int = 0,
-        delay_model: Optional[DelayModel] = None,
-        initial_value: bytes = b"",
-        keep_message_trace: bool = False,
+        **cluster_kwargs,
     ) -> None:
         if delta < 0:
             raise ValueError("delta (the concurrency bound) must be non-negative")
         self.delta = delta
         self.gc_depth = delta
-        super().__init__(
-            n,
-            f,
-            num_writers=num_writers,
-            num_readers=num_readers,
-            seed=seed,
-            delay_model=delay_model,
-            initial_value=initial_value,
-            keep_message_trace=keep_message_trace,
-        )
+        super().__init__(n, f, **cluster_kwargs)
 
     # ------------------------------------------------------------------
     # paper-facing theoretical quantities (Table I, row 2)

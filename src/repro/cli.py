@@ -20,15 +20,23 @@ paper's tables and theorems, and docs/sweeps.md for the sweep registry).
 ``experiment sweep <name> --jobs N`` runs any registered sweep sharded over
 ``N`` worker processes; results are identical for every jobs count (each
 point derives its own seed), so ``--jobs`` is purely a wall-clock knob.
+
+``experiment longrun --ops N --jobs J --protocol P`` streams one long
+real-cluster simulation through bounded recorders with the incremental
+atomicity checker attached online, sharded into epochs over ``J``
+processes; the merged verdict and the JSON/CSV artefacts written under
+``--results-dir`` are byte-identical for every jobs count.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import experiments as exp
+from repro.analysis.longrun import run_longrun, write_longrun_artefacts
 from repro.analysis.sweeps import available_sweeps, rows_as_dicts, run_named_sweep
 from repro.analysis.tables import format_table, generate_table1
 from repro.baselines.registry import available_protocols, make_cluster
@@ -39,7 +47,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     for name in available_protocols():
         print(f"  {name}")
     print("\nExperiments: storage, write-cost, read-cost, latency, sodaerr, "
-          "atomicity, tradeoff (see `experiment -h`)")
+          "atomicity, tradeoff, sweep, longrun (see `experiment -h`)")
     return 0
 
 
@@ -91,6 +99,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_longrun(args: argparse.Namespace) -> int:
+    report = run_longrun(
+        args.protocol,
+        ops=args.ops,
+        epoch_ops=args.epoch_ops,
+        jobs=args.jobs,
+        n=args.n,
+        f=args.f,
+        seed=args.seed,
+    )
+    print(
+        f"{report.protocol} longrun: {report.issued} ops issued over "
+        f"{len(report.epochs)} epochs ({args.jobs} jobs), "
+        f"{report.completed} completed, {report.failed} failed"
+    )
+    print(
+        f"throughput      : {report.ops_per_s:.0f} ops/s wall "
+        f"({report.events} simulated events in {report.wall_s:.1f}s)"
+    )
+    print(
+        f"memory gauge    : stream_max_resident={report.stream_max_resident} "
+        f"records (window {report.params['window']})"
+    )
+    verdict = report.verdict
+    print(
+        f"merged verdict  : {'ATOMIC' if report.ok else 'VIOLATIONS'} "
+        f"({verdict.clusters} clusters, {verdict.crossings_tested} crossings "
+        f"tested, {verdict.shards} shards)"
+    )
+    for violation in report.local_violations[:5]:
+        print(f"  online  : {violation}")
+    for violation in verdict.violations[:5]:
+        print(f"  merged  : [{violation.kind}] {violation.description}")
+    if not args.no_artefacts:
+        json_path, csv_path = write_longrun_artefacts(
+            report, Path(args.results_dir)
+        )
+        print(f"artefacts       : {json_path} {csv_path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     name = args.name.replace("_", "-")
     if name == "sweep":
@@ -102,6 +151,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if name == "longrun":
+        return _cmd_longrun(args)
     if name == "storage":
         for p in exp.storage_cost_vs_f(n=args.n, seed=args.seed, jobs=args.jobs):
             print(f"f={p.f}: measured={p.measured:.3f} predicted={p.predicted:.3f}")
@@ -184,7 +235,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "name",
         help="storage | write-cost | read-cost | latency | sodaerr | atomicity | "
-        "tradeoff | sweep (sweep runs any registered sweep, sharded)",
+        "tradeoff | sweep (sweep runs any registered sweep, sharded) | "
+        "longrun (streamed real-cluster run with sharded online checking)",
     )
     p_exp.add_argument(
         "sweep_name",
@@ -207,6 +259,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument(
         "--list", action="store_true", help="with 'sweep': list registered sweeps"
+    )
+    p_exp.add_argument(
+        "--ops",
+        type=int,
+        default=1_000_000,
+        help="with 'longrun': total operations to stream",
+    )
+    p_exp.add_argument(
+        "--epoch-ops",
+        type=int,
+        default=25_000,
+        help="with 'longrun': operations per epoch (the sharding grain; "
+        "the verdict is identical for any value of --jobs)",
+    )
+    p_exp.add_argument(
+        "--results-dir",
+        default="results",
+        help="with 'longrun': directory for the committed JSON/CSV artefacts",
+    )
+    p_exp.add_argument(
+        "--no-artefacts",
+        action="store_true",
+        help="with 'longrun': skip writing artefact files",
     )
     p_exp.set_defaults(func=_cmd_experiment)
 

@@ -25,24 +25,38 @@ executions:
 
 from repro.consistency.history import History, OperationRecord
 from repro.consistency.incremental import (
+    ClusterSummary,
     IncrementalAtomicityChecker,
     IncrementalCheckResult,
     check_history_incrementally,
 )
 from repro.consistency.lemma_check import AtomicityViolation, check_lemma_properties
+from repro.consistency.shardmerge import (
+    MergedCheckResult,
+    ShardVerdict,
+    check_history_sharded,
+    merge_shard_verdicts,
+    shard_verdict_from_checker,
+)
 from repro.consistency.stream import HistorySink, StreamingRecorder, StreamObserver
 from repro.consistency.wgl import check_linearizability
 
 __all__ = [
+    "ClusterSummary",
     "History",
     "HistorySink",
     "IncrementalAtomicityChecker",
     "IncrementalCheckResult",
+    "MergedCheckResult",
     "OperationRecord",
+    "ShardVerdict",
     "StreamingRecorder",
     "StreamObserver",
     "AtomicityViolation",
     "check_lemma_properties",
     "check_linearizability",
     "check_history_incrementally",
+    "check_history_sharded",
+    "merge_shard_verdicts",
+    "shard_verdict_from_checker",
 ]

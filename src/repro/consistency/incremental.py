@@ -63,7 +63,7 @@ import bisect
 import hashlib
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.consistency.stream import WRITE, OperationRecord, StreamObserver
 
@@ -98,6 +98,49 @@ class _Cluster:
     min_resp: float  # b(C): earliest member response (+inf while pending)
     write_invoked: float
     closed: bool = False
+    #: False only for placeholder clusters created in ``defer`` mode when a
+    #: read's value has no locally observed write (the write may live in
+    #: another shard of a sharded run; the merge pass resolves it).
+    has_write: bool = True
+    #: Bookkeeping for the shard-merge reconciliation pass; these fields do
+    #: not feed the crossing test.
+    min_read_resp: float = math.inf
+    reads: int = 0
+    first_read_inv: float = math.inf
+    first_read_id: Optional[str] = None
+
+    def note_read(self, record: OperationRecord) -> None:
+        self.reads += 1
+        if record.responded_at is not None:
+            self.min_read_resp = min(self.min_read_resp, record.responded_at)
+        if (record.invoked_at, record.op_id) < (
+            self.first_read_inv,
+            self.first_read_id or "",
+        ):
+            self.first_read_inv = record.invoked_at
+            self.first_read_id = record.op_id
+
+
+class ClusterSummary(NamedTuple):
+    """A picklable, shard-portable snapshot of one cluster's summary.
+
+    Exported by :meth:`IncrementalAtomicityChecker.cluster_summaries` and
+    consumed by :mod:`repro.consistency.shardmerge`, which combines partial
+    summaries of the same write value from different shards (``max`` of
+    ``max_inv``, ``min`` of ``min_resp`` …) and re-runs the global checks.
+    """
+
+    key: bytes  # 16-byte value digest
+    write_id: str
+    has_write: bool
+    write_invoked: float
+    max_inv: float
+    min_resp: float
+    min_read_resp: float
+    reads: int
+    first_read_inv: float
+    first_read_id: Optional[str]
+    initial: bool  # True for the checker's distinguished initial-value cluster
 
 
 class IncrementalAtomicityChecker(StreamObserver):
@@ -120,16 +163,31 @@ class IncrementalAtomicityChecker(StreamObserver):
         initial_value: bytes = b"",
         frontier_limit: int = 256,
         max_violations: int = 16,
+        unknown_values: str = "flag",
     ) -> None:
         if frontier_limit < 1:
             raise ValueError("frontier_limit must be positive")
+        if unknown_values not in ("flag", "defer"):
+            raise ValueError(
+                f"unknown_values must be 'flag' or 'defer', got {unknown_values!r}"
+            )
         self.initial_value = initial_value
         self.frontier_limit = frontier_limit
         self.max_violations = max_violations
+        #: ``"flag"`` treats a read of a never-written value as a violation
+        #: (the whole-stream semantics); ``"defer"`` records a write-less
+        #: placeholder cluster instead, for shards of a sharded run where
+        #: the write may have been routed to a different shard — the merge
+        #: pass in :mod:`repro.consistency.shardmerge` settles it.
+        self.unknown_values = unknown_values
         self.violations: List[Violation] = []
         self.ops_seen = 0
         self.reads_checked = 0
         self.reopened_clusters = 0
+        #: Every (value key, write op id, invocation time) that claimed an
+        #: already-claimed value — exported so the shard merge can decide
+        #: duplicates canonically across shards.
+        self.duplicate_write_claims: List[Tuple[bytes, str, float]] = []
 
         # value digest -> cluster (authoritative, one entry per write ever)
         self._clusters: Dict[bytes, _Cluster] = {}
@@ -147,8 +205,9 @@ class IncrementalAtomicityChecker(StreamObserver):
             min_resp=-math.inf,
             write_invoked=-math.inf,
         )
-        self._clusters[_value_key(initial_value)] = initial
-        self._frontier[_value_key(initial_value)] = None
+        self._initial_key = _value_key(initial_value)
+        self._clusters[self._initial_key] = initial
+        self._frontier[self._initial_key] = None
 
     # ------------------------------------------------------------------
     # StreamObserver interface
@@ -158,15 +217,42 @@ class IncrementalAtomicityChecker(StreamObserver):
         if record.kind != WRITE:
             return
         key = _value_key(record.value)
-        if key in self._clusters:
-            self._flag(
-                Violation(
-                    "duplicate-write-value",
-                    f"write {record.op_id} repeats a previously written value; "
-                    f"the register checker requires pairwise distinct writes",
-                    (record.op_id,),
+        existing = self._clusters.get(key)
+        if existing is not None:
+            if existing.has_write:
+                self.duplicate_write_claims.append(
+                    (key, record.op_id, record.invoked_at)
                 )
-            )
+                self._flag(
+                    Violation(
+                        "duplicate-write-value",
+                        f"write {record.op_id} repeats a previously written value; "
+                        f"the register checker requires pairwise distinct writes",
+                        (record.op_id,),
+                    )
+                )
+                return
+            # Defer-mode placeholder created by an earlier read of this
+            # value: the write has now arrived, so the placeholder adopts it.
+            if existing.closed:
+                self._reopen(key, existing)
+            else:
+                self._open(key)
+            existing.write_id = record.op_id
+            existing.has_write = True
+            existing.write_invoked = record.invoked_at
+            existing.max_inv = max(existing.max_inv, record.invoked_at)
+            if existing.min_read_resp < record.invoked_at:
+                self._flag(
+                    Violation(
+                        "read-from-future",
+                        f"read {existing.first_read_id} responded before its "
+                        f"write {record.op_id} was invoked",
+                        (existing.first_read_id or "?", record.op_id),
+                    )
+                )
+                return
+            self._check_crossings(existing)
             return
         cluster = _Cluster(
             write_id=record.op_id,
@@ -181,8 +267,9 @@ class IncrementalAtomicityChecker(StreamObserver):
         if record.kind == WRITE:
             key = _value_key(record.value)
             cluster = self._clusters.get(key)
-            if cluster is None:
-                # invoke was never observed (stream joined late): register now.
+            if cluster is None or not cluster.has_write:
+                # invoke was never observed (stream joined late, or a defer
+                # placeholder holds the value): register/adopt now.
                 self.on_invoke(record)
                 cluster = self._clusters.get(key)
             if cluster is None or cluster.write_id != record.op_id:
@@ -196,18 +283,36 @@ class IncrementalAtomicityChecker(StreamObserver):
             key = _value_key(record.value)
             cluster = self._clusters.get(key)
             if cluster is None:
-                self._flag(
-                    Violation(
-                        "unwritten-value",
-                        f"read {record.op_id} returned a value no observed "
-                        f"write produced (and not the initial value)",
-                        (record.op_id,),
+                if self.unknown_values == "flag":
+                    self._flag(
+                        Violation(
+                            "unwritten-value",
+                            f"read {record.op_id} returned a value no observed "
+                            f"write produced (and not the initial value)",
+                            (record.op_id,),
+                        )
                     )
+                    return
+                # defer mode: a write-less placeholder joins the frontier and
+                # constrains ordering like any cluster; the merge pass flags
+                # it as unwritten only if no shard ever saw its write.
+                cluster = _Cluster(
+                    write_id=f"<unwritten:{record.op_id}>",
+                    max_inv=-math.inf,
+                    min_resp=math.inf,
+                    write_invoked=-math.inf,
+                    has_write=False,
                 )
-                return
+                self._clusters[key] = cluster
+                self._open(key)
             if record.responded_at is not None and (
                 record.responded_at < cluster.write_invoked
             ):
+                # Bookkeeping still records the offending read so the shard
+                # merge can recompute this violation from summaries alone;
+                # the (a, b) crossing summary stays untouched, matching the
+                # early return of the original single-stream semantics.
+                cluster.note_read(record)
                 self._flag(
                     Violation(
                         "read-from-future",
@@ -217,6 +322,7 @@ class IncrementalAtomicityChecker(StreamObserver):
                     )
                 )
                 return
+            cluster.note_read(record)
             self._update(
                 key,
                 cluster,
@@ -244,6 +350,34 @@ class IncrementalAtomicityChecker(StreamObserver):
             clusters=len(self._clusters),
             frontier_size=len(self._frontier),
         )
+
+    def cluster_summaries(self) -> List[ClusterSummary]:
+        """Snapshot every cluster (open, closed and the initial one) as
+        picklable :class:`ClusterSummary` rows for the shard-merge pass.
+
+        Rows are sorted by ``(key, write_id)`` so the export is canonical —
+        independent of update order, frontier evictions and dict iteration.
+        """
+        rows = []
+        for key, cluster in self._clusters.items():
+            rows.append(
+                ClusterSummary(
+                    key=key,
+                    write_id=cluster.write_id,
+                    has_write=cluster.has_write,
+                    write_invoked=cluster.write_invoked,
+                    max_inv=cluster.max_inv,
+                    min_resp=cluster.min_resp,
+                    min_read_resp=cluster.min_read_resp,
+                    reads=cluster.reads,
+                    first_read_inv=cluster.first_read_inv,
+                    first_read_id=cluster.first_read_id,
+                    initial=key == self._initial_key
+                    and cluster.write_id == "<initial>",
+                )
+            )
+        rows.sort(key=lambda r: (r.key, r.write_id))
+        return rows
 
     # ------------------------------------------------------------------
     # cluster maintenance
@@ -374,6 +508,32 @@ class IncrementalCheckResult:
         return self.ok
 
 
+def replay_operations(
+    checker: IncrementalAtomicityChecker, operations
+) -> IncrementalAtomicityChecker:
+    """Feed recorded operations to a checker in live-stream event order.
+
+    The ordering convention — invocations by invocation time, completions
+    by response time, invocations first on ties — is the single source of
+    truth shared by :func:`check_history_incrementally` and the sharded
+    replay in :func:`repro.consistency.shardmerge.check_history_sharded`;
+    keeping it in one place keeps the differential suite's three paths
+    comparable by construction.  Returns the checker for chaining.
+    """
+    events: List[Tuple[float, int, OperationRecord]] = []
+    for op in operations:
+        events.append((op.invoked_at, 0, op))
+        if op.is_complete:
+            events.append((op.responded_at, 1, op))
+    events.sort(key=lambda e: (e[0], e[1]))
+    for _, phase, op in events:
+        if phase == 0:
+            checker.on_invoke(op)
+        else:
+            checker.on_complete(op)
+    return checker
+
+
 def check_history_incrementally(
     history, *, initial_value: bytes = b"", frontier_limit: int = 256
 ) -> IncrementalCheckResult:
@@ -387,15 +547,4 @@ def check_history_incrementally(
     checker = IncrementalAtomicityChecker(
         initial_value=initial_value, frontier_limit=frontier_limit
     )
-    events: List[Tuple[float, int, OperationRecord]] = []
-    for op in history.operations():
-        events.append((op.invoked_at, 0, op))
-        if op.is_complete:
-            events.append((op.responded_at, 1, op))
-    events.sort(key=lambda e: (e[0], e[1]))
-    for _, phase, op in events:
-        if phase == 0:
-            checker.on_invoke(op)
-        else:
-            checker.on_complete(op)
-    return checker.result()
+    return replay_operations(checker, history.operations()).result()

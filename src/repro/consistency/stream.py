@@ -120,6 +120,19 @@ class HistorySink(ABC):
         self._observers.append(observer)
         return observer
 
+    def unsubscribe(self, observer: StreamObserver) -> None:
+        """Detach an observer (no-op if it was never subscribed).
+
+        Transient observers — e.g. the closed-loop driver behind one
+        :meth:`~repro.runtime.cluster.RegisterCluster.run_streamed` call —
+        detach themselves so repeated runs do not accumulate dead
+        observers on a long-lived sink.
+        """
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
     # ------------------------------------------------------------------
     # recording (shared semantics)
     # ------------------------------------------------------------------

@@ -107,12 +107,27 @@ class SodaServer(Process):
         self.tag: Tag = initial_tag
         self.element: Optional[CodedElement] = initial_element
         self.registered: Dict[str, RegisteredReader] = {}
-        self.history_set: Set[Tuple[Tag, int, str]] = set()
+        # The paper's ``H`` set of (tag, server index, read id) triples,
+        # indexed read id -> tag -> {server indices} so the unregistration
+        # threshold is an O(1) set-size check and dropping a finished read
+        # is one dict pop.  The flat-set representation used to make every
+        # READ-DISPERSE an O(|H|) scan — quadratic over a long run.
+        self.history_index: Dict[str, Dict[Tag, Set[int]]] = {}
         # Reads whose READ-COMPLETE overtook their READ-VALUE registration.
         # Kept separate from the genuine history entries: a (TAG_ZERO, index,
-        # read_id) sentinel in ``history_set`` would collide with the real
+        # read_id) sentinel in the history would collide with the real
         # entry recorded when the initial value (tag TAG_ZERO) is relayed.
         self.completed_reads: Set[str] = set()
+        # Reads whose pending registration this server cancelled because the
+        # READ-COMPLETE had already been processed.  Together with the keys
+        # of ``unregistration_times`` these are the reads this server is
+        # completely done with: late READ-DISPERSE messages for them are
+        # dropped instead of re-accumulating history entries that nothing
+        # would ever clean up again — over a million-operation streamed run
+        # that leak dominated both memory and time.  (Only the rare
+        # overtake race lands here, so unlike the per-read timestamp maps
+        # this set stays tiny.)
+        self._cancelled_registrations: Set[str] = set()
         self.storage_tracker = storage_tracker
         self.disk_errors = disk_error_model or DiskErrorModel.disabled()
         self.unregister_threshold = (
@@ -213,6 +228,7 @@ class SodaServer(Process):
             # The READ-COMPLETE for this read has already been processed
             # (it overtook the registration request); do not register.
             self.completed_reads.discard(payload.read_id)
+            self._cancelled_registrations.add(payload.read_id)
             self._drop_history_for(payload.read_id)
             return
         reg = RegisteredReader(
@@ -238,15 +254,18 @@ class SodaServer(Process):
             self.completed_reads.add(payload.read_id)
 
     def _on_read_disperse(self, payload: ReadDispersePayload) -> None:
-        self.history_set.add((payload.tag, payload.server_index, payload.read_id))
+        if (
+            payload.read_id in self.unregistration_times
+            or payload.read_id in self._cancelled_registrations
+        ):
+            # The read is over as far as this server is concerned; tracking
+            # stragglers would only re-grow history nothing cleans up.
+            return
+        self._note_history(payload.tag, payload.server_index, payload.read_id)
         reg = self.registered.get(payload.read_id)
         if reg is None:
             return
-        sent_for_tag = {
-            entry
-            for entry in self.history_set
-            if entry[0] == payload.tag and entry[2] == payload.read_id
-        }
+        sent_for_tag = self.history_index[payload.read_id][payload.tag]
         if len(sent_for_tag) >= self.unregister_threshold:
             # Enough distinct coded elements of one tag have reached the
             # reader; it can decode, so stop relaying to it.
@@ -271,7 +290,7 @@ class SodaServer(Process):
             ),
         )
         self.elements_relayed_to_readers += 1
-        self.history_set.add((tag, self.index, reg.read_id))
+        self._note_history(tag, self.index, reg.read_id)
         self.md_sender.md_meta_send(
             ReadDispersePayload(tag=tag, server_index=self.index, read_id=reg.read_id),
             op_id=reg.read_id,
@@ -288,8 +307,13 @@ class SodaServer(Process):
         data = self.disk_errors.read(self.pid, self.element.data)
         return CodedElement(index=self.element.index, data=data)
 
+    def _note_history(self, tag: Tag, server_index: int, read_id: str) -> None:
+        self.history_index.setdefault(read_id, {}).setdefault(tag, set()).add(
+            server_index
+        )
+
     def _drop_history_for(self, read_id: str) -> None:
-        self.history_set = {e for e in self.history_set if e[2] != read_id}
+        self.history_index.pop(read_id, None)
 
     # ------------------------------------------------------------------
     # introspection for tests and experiments
@@ -300,4 +324,10 @@ class SodaServer(Process):
 
     @property
     def history_entries(self) -> Set[Tuple[Tag, int, str]]:
-        return set(self.history_set)
+        """The paper's flat ``H`` set view of the indexed history."""
+        return {
+            (tag, server_index, read_id)
+            for read_id, per_tag in self.history_index.items()
+            for tag, indices in per_tag.items()
+            for server_index in indices
+        }

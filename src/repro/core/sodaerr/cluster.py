@@ -16,7 +16,6 @@ from repro.core.sodaerr.reader import SodaErrReader
 from repro.erasure.mds import MDSCode
 from repro.erasure.rs import ReedSolomonCode
 from repro.sim.failures import DiskErrorModel
-from repro.sim.network import DelayModel
 
 
 class SodaErrCluster(SodaCluster):
@@ -34,12 +33,7 @@ class SodaErrCluster(SodaCluster):
         error_probability: float = 0.0,
         error_prone_servers: Optional[Iterable[int]] = None,
         max_total_errors: Optional[int] = None,
-        num_writers: int = 1,
-        num_readers: int = 1,
-        seed: int = 0,
-        delay_model: Optional[DelayModel] = None,
-        initial_value: bytes = b"",
-        keep_message_trace: bool = False,
+        **cluster_kwargs,
     ) -> None:
         if e < 0:
             raise ValueError("e must be non-negative")
@@ -50,16 +44,7 @@ class SodaErrCluster(SodaCluster):
         )
         self._max_total_errors = max_total_errors
         self._shared_disk_error_model: Optional[DiskErrorModel] = None
-        super().__init__(
-            n,
-            f,
-            num_writers=num_writers,
-            num_readers=num_readers,
-            seed=seed,
-            delay_model=delay_model,
-            initial_value=initial_value,
-            keep_message_trace=keep_message_trace,
-        )
+        super().__init__(n, f, **cluster_kwargs)
 
     # ------------------------------------------------------------------
     # parameters

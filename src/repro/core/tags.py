@@ -38,6 +38,25 @@ class Tag:
             return NotImplemented
         return (self.z, self.writer_id) < (other.z, other.writer_id)
 
+    # The remaining comparisons are spelled out rather than left to
+    # ``total_ordering``'s derived wrappers: tag comparison sits on the
+    # per-message hot path of every protocol, and the derived versions cost
+    # an extra call plus a NotImplemented check each.
+    def __gt__(self, other: object) -> bool:
+        if not isinstance(other, Tag):
+            return NotImplemented
+        return (self.z, self.writer_id) > (other.z, other.writer_id)
+
+    def __le__(self, other: object) -> bool:
+        if not isinstance(other, Tag):
+            return NotImplemented
+        return (self.z, self.writer_id) <= (other.z, other.writer_id)
+
+    def __ge__(self, other: object) -> bool:
+        if not isinstance(other, Tag):
+            return NotImplemented
+        return (self.z, self.writer_id) >= (other.z, other.writer_id)
+
     def __repr__(self) -> str:
         return f"Tag(z={self.z}, w={self.writer_id!r})"
 

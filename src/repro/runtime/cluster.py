@@ -23,8 +23,10 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.consistency.history import History, OperationRecord
-from repro.consistency.stream import HistorySink
+from repro.consistency.stream import HistorySink, StreamObserver
 from repro.erasure.batch import CachedEncoder
 from repro.erasure.mds import CodedElement, MDSCode
 from repro.metrics.costs import CommunicationCostTracker, StorageTracker
@@ -51,6 +53,24 @@ class ScheduledOperation:
     @property
     def started(self) -> bool:
         return self.op_id is not None
+
+
+@dataclass
+class StreamedRunStats:
+    """Outcome of one :meth:`RegisterCluster.run_streamed` closed loop."""
+
+    requested: int
+    issued: int = 0
+    completed: int = 0
+    failed: int = 0
+    writes: int = 0
+    reads: int = 0
+    end_time: float = 0.0
+    events: int = 0
+
+    @property
+    def in_flight_at_end(self) -> int:
+        return self.issued - self.completed - self.failed
 
 
 class RegisterCluster(ABC):
@@ -266,6 +286,184 @@ class RegisterCluster(ABC):
         if not self.warm_encoding_effective:
             return 0
         return self.encoder.warm(values)
+
+    # ------------------------------------------------------------------
+    # closed-loop streaming runs
+    # ------------------------------------------------------------------
+    def run_streamed(
+        self,
+        *,
+        operations: int,
+        value_size: int = 32,
+        mean_gap: float = 0.25,
+        start_window: float = 1.0,
+        seed: int = 0,
+        value_prefix: str = "",
+        warm_batch: int = 64,
+        max_events: Optional[int] = None,
+    ) -> StreamedRunStats:
+        """Drive ``operations`` client operations through the live cluster
+        in a closed loop, with memory bounded by the client count.
+
+        Unlike :func:`repro.workloads.generator.run_workload`, which
+        schedules every operation (and pre-generates every value) up
+        front, this driver keeps exactly one pending invocation per
+        client: whenever a client's operation completes (or its client
+        crashes), the next operation for that client is scheduled after an
+        exponential think time.  Combined with a bounded
+        :class:`~repro.consistency.stream.StreamingRecorder` sink and the
+        online incremental checker, a million-operation *real cluster
+        simulation* runs in O(clients + window) resident history — the
+        engine behind ``experiment longrun`` (:mod:`repro.analysis.longrun`).
+
+        Writers issue globally unique values ``{value_prefix}#{seq}|…``
+        padded to ``value_size`` with seeded random bytes; upcoming values
+        are pre-encoded into the shared encoder cache ``warm_batch`` at a
+        time (one wide GF(2^8) matmul each refill).  Readers issue reads.
+        The operation budget is consumed by whichever clients are alive: a
+        crashed client's slot is handed to the next live client
+        round-robin, so the budget drains fully while anyone survives, and
+        a fully crashed client set winds the run down (fewer issued
+        operations) instead of hanging.  All randomness derives from
+        ``seed``, making the run reproducible event-for-event.
+        """
+        if operations < 0:
+            raise ValueError("operations cannot be negative")
+        if mean_gap < 0 or start_window < 0:
+            raise ValueError("mean_gap and start_window must be non-negative")
+        rng = np.random.default_rng(seed)
+        stats = StreamedRunStats(requested=operations)
+        events_before = self.sim.events_processed
+
+        clients: List[Process] = [
+            *(self.writers[pid] for pid in self.writer_ids),
+            *(self.readers[pid] for pid in self.reader_ids),
+        ]
+        by_pid = {str(client.pid): client for client in clients}
+        index_of = {str(client.pid): i for i, client in enumerate(clients)}
+        state = {"remaining": operations, "active": True, "value_seq": 0}
+        value_queue: List[bytes] = []
+        # Operations issued by THIS run and still outstanding: the sink may
+        # also carry completions of externally scheduled operations, which
+        # must not perturb the stats or trigger extra closed-loop issues.
+        outstanding: set = set()
+
+        def live_replacement(after: Process) -> Optional[Process]:
+            """The next non-crashed client after ``after``, round-robin."""
+            start = index_of[str(after.pid)]
+            for shift in range(1, len(clients) + 1):
+                candidate = clients[(start + shift) % len(clients)]
+                if not candidate.is_crashed:
+                    return candidate
+            return None
+
+        def next_value() -> bytes:
+            if not value_queue:
+                batch = []
+                for _ in range(max(1, warm_batch)):
+                    header = f"{value_prefix}#{state['value_seq']}|".encode()
+                    state["value_seq"] += 1
+                    filler = b""
+                    if value_size > len(header):
+                        filler = rng.integers(
+                            0, 256, size=value_size - len(header), dtype=np.uint8
+                        ).tobytes()
+                    batch.append(header + filler)
+                self.warm_encode(batch)
+                value_queue.extend(reversed(batch))
+            return value_queue.pop()
+
+        def issue(client: Process) -> None:
+            if not state["active"] or state["remaining"] <= 0:
+                return
+            if client.is_crashed:
+                # Hand the budget slot to a surviving client instead of
+                # abandoning it — the budget is consumed by whichever
+                # clients are alive; only a fully crashed client set
+                # leaves it unconsumed.
+                replacement = live_replacement(client)
+                if replacement is not None:
+                    self.sim.schedule(
+                        self._busy_retry_delay,
+                        lambda: issue(replacement),
+                        label="reassign streamed op",
+                    )
+                return
+            if client.busy:
+                self.sim.schedule(
+                    self._busy_retry_delay,
+                    lambda: issue(client),
+                    label="retry streamed op",
+                )
+                return
+            state["remaining"] -= 1
+            if str(client.pid) in self.writers:
+                op_id = client.start_write(next_value())
+                stats.writes += 1
+            else:
+                op_id = client.start_read()
+                stats.reads += 1
+            outstanding.add(op_id)
+            stats.issued += 1
+
+        cluster = self
+
+        class _ClosedLoopDriver(StreamObserver):
+            def _advance(self, record: OperationRecord, failed: bool) -> None:
+                if not state["active"]:
+                    return
+                if record.op_id not in outstanding:
+                    return  # not one of this run's operations
+                outstanding.discard(record.op_id)
+                if failed:
+                    stats.failed += 1
+                else:
+                    stats.completed += 1
+                finished_at = (
+                    record.responded_at
+                    if record.responded_at is not None
+                    else cluster.sim.now
+                )
+                stats.end_time = max(stats.end_time, finished_at)
+                client = by_pid.get(record.client)
+                if client is None or state["remaining"] <= 0:
+                    return
+                if client.is_crashed:
+                    client = live_replacement(client)
+                    if client is None:
+                        return
+                gap = float(rng.exponential(mean_gap)) if mean_gap else 0.0
+                next_client = client
+                cluster.sim.schedule(
+                    gap, lambda: issue(next_client), label="next streamed op"
+                )
+
+            def on_complete(self, record: OperationRecord) -> None:
+                self._advance(record, failed=False)
+
+            def on_failed(self, record: OperationRecord) -> None:
+                self._advance(record, failed=True)
+
+        driver = self.history.subscribe(_ClosedLoopDriver())
+        for index, client in enumerate(clients):
+            if index >= operations:
+                break
+            at = float(rng.uniform(0.0, start_window)) if start_window else 0.0
+            self.sim.schedule(
+                at, (lambda c: lambda: issue(c))(client), label="start streamed op"
+            )
+
+        budget = max_events if max_events is not None else max(
+            10_000_000, operations * 2_000
+        )
+        try:
+            self.run(max_events=budget)
+        finally:
+            state["active"] = False
+            self.history.unsubscribe(driver)
+        stats.end_time = max(stats.end_time, self.sim.now)
+        stats.events = self.sim.events_processed - events_before
+        return stats
 
     # ------------------------------------------------------------------
     # failures

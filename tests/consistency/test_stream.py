@@ -139,6 +139,67 @@ class TestStreamingRecorderBoundedMemory:
         assert recorder.resident_count == 0
         assert recorder.evicted_count == 1
 
+    def test_window_overflow_never_evicts_in_flight_ops(self):
+        """Retirement-window pressure must only evict *retired* records:
+        an op still in flight stays resident however many completions
+        churn through a tiny window."""
+        recorder = StreamingRecorder(window=2)
+        recorder.invoke("pinned", WRITE, "c9", 0.0, value=b"pinned")
+        for i in range(200):
+            recorder.invoke(f"op{i}", WRITE, "c0", 1.0 + i, value=str(i).encode())
+            recorder.respond(f"op{i}", 1.5 + i)
+        assert recorder.evicted_count == 198
+        assert [op.op_id for op in recorder.in_flight()] == ["pinned"]
+        # The in-flight record is still addressable and completable.
+        recorder.respond("pinned", 500.0)
+        assert recorder.get("pinned").is_complete
+
+    def test_crash_mid_operation_at_shard_boundary(self):
+        """The shard-boundary shape of a crash: a client dies with an op in
+        flight while the epoch's stream keeps retiring completions.  The
+        failed op must be retired into the window (not pinned forever),
+        flow to observers exactly once, and look up as evicted afterwards."""
+        recorder = StreamingRecorder(window=1)
+        observer = recorder.subscribe(_CollectingObserver())
+        recorder.invoke("doomed", WRITE, "w0", 0.0, value=b"never-lands")
+        recorder.mark_failed("doomed")  # crash-mid-operation
+        assert observer.failed == ["doomed"]
+        assert not recorder.in_flight()
+        # Two more completions push the failed record out of the window —
+        # exactly what happens when the epoch continues past the crash.
+        recorder.invoke("w1", WRITE, "w1", 1.0, value=b"a")
+        recorder.respond("w1", 2.0)
+        recorder.invoke("w2", WRITE, "w1", 3.0, value=b"b")
+        recorder.respond("w2", 4.0)
+        with pytest.raises(ValueError, match="evicted"):
+            recorder.get("doomed")
+        # A late response for the crashed op (e.g. a straggler callback
+        # firing after the boundary) is a descriptive error, not a KeyError.
+        with pytest.raises(ValueError, match="unknown operation id 'doomed'"):
+            recorder.respond("doomed", 9.0)
+        assert recorder.failed_count == 1
+
+    def test_failed_complete_op_is_not_double_retired(self):
+        """mark_failed on an op that already responded must not retire it a
+        second time (the window would double-count the record)."""
+        recorder = StreamingRecorder(window=4)
+        recorder.invoke("a", WRITE, "c0", 0.0)
+        recorder.respond("a", 1.0)
+        recorder.mark_failed("a")  # crash after the response was recorded
+        assert recorder.failed_count == 1
+        assert recorder.completed_count == 1
+        assert recorder.resident_count == 1
+
+    def test_unknown_and_evicted_ids_share_the_descriptive_error(self):
+        recorder = StreamingRecorder(window=0)
+        recorder.invoke("gone", WRITE, "c0", 0.0)
+        recorder.respond("gone", 1.0)  # immediately evicted (window=0)
+        for op_id in ("gone", "never-existed"):
+            with pytest.raises(ValueError, match="unknown operation id"):
+                recorder.get(op_id)
+            with pytest.raises(ValueError, match="never invoked .* or already evicted"):
+                recorder.mark_failed(op_id)
+
 
 class TestClusterWithStreamingRecorder:
     def test_blocking_ops_survive_tiny_window(self):

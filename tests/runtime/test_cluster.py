@@ -97,3 +97,99 @@ class TestCrossProtocolApi:
         assert c.operation_cost(w.op_id) > 0
         assert c.storage_peak() > 0
         assert c.summary()["n"] == 5
+
+
+class TestRunStreamed:
+    def test_closed_loop_issues_exact_budget(self):
+        from repro.consistency.history import History
+
+        c = SodaCluster(n=5, f=2, num_writers=2, num_readers=2, seed=4)
+        stats = c.run_streamed(operations=30, seed=1)
+        assert stats.requested == 30
+        assert stats.issued == 30
+        assert stats.completed == 30
+        assert stats.failed == 0
+        assert stats.writes + stats.reads == 30
+        assert stats.in_flight_at_end == 0
+        assert stats.events > 0
+        # The default sink is the keep-everything History; every op landed.
+        assert isinstance(c.history, History)
+        assert c.history.completed_count == 30
+
+    def test_deterministic_for_a_seed(self):
+        def run(seed):
+            c = SodaCluster(n=5, f=2, num_writers=2, num_readers=2, seed=8)
+            s = c.run_streamed(operations=25, seed=seed)
+            ops = tuple(
+                (op.op_id, op.kind, op.invoked_at, op.responded_at)
+                for op in c.history.operations()
+            )
+            return s.end_time, s.events, ops
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_write_values_are_unique_and_prefixed(self):
+        c = SodaCluster(n=5, f=2, num_writers=2, num_readers=1, seed=2)
+        c.run_streamed(operations=20, seed=5, value_prefix="e7|", value_size=24)
+        values = [op.value for op in c.history.writes()]
+        assert values
+        assert len(set(values)) == len(values)
+        assert all(v.startswith(b"e7|#") for v in values)
+        assert all(len(v) == 24 for v in values)
+
+    def test_writer_crash_drops_out_of_the_loop(self):
+        c = SodaCluster(n=5, f=2, num_writers=1, num_readers=1, seed=6)
+        c.crash_client("w0", at_time=5.0)
+        stats = c.run_streamed(operations=200, seed=9)
+        # The lone writer died early: writes stop, the surviving reader
+        # absorbs the remaining budget and the run terminates cleanly.
+        assert stats.issued == 200
+        assert stats.writes < 10
+        assert stats.failed <= 1
+        assert stats.completed + stats.failed == stats.issued
+
+    def test_all_clients_crashed_leaves_budget_unconsumed(self):
+        c = SodaCluster(n=5, f=2, num_writers=1, num_readers=1, seed=6)
+        c.crash_client("w0", at_time=5.0)
+        c.crash_client("r0", at_time=5.0)
+        stats = c.run_streamed(operations=200, seed=9)
+        # Nobody is left to issue operations: the loop winds down instead
+        # of hanging, with the unissued budget simply abandoned.
+        assert stats.issued < 200
+        assert stats.completed + stats.failed <= stats.issued
+
+    def test_validation(self):
+        c = SodaCluster(n=5, f=2, seed=1)
+        with pytest.raises(ValueError, match="operations cannot be negative"):
+            c.run_streamed(operations=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            c.run_streamed(operations=1, mean_gap=-0.5)
+        stats = c.run_streamed(operations=0)
+        assert stats.issued == 0
+
+    def test_budget_slot_reassigned_from_crashed_client(self):
+        """A budget slot handed to an already-crashed client must move to
+        the next live client instead of being silently dropped."""
+        c = SodaCluster(n=5, f=2, num_writers=1, num_readers=1, seed=6)
+        c.crash_client("w0", at_time=0.0)  # dead before the kickoff fires
+        stats = c.run_streamed(operations=1, seed=2)
+        assert stats.issued == 1
+        assert stats.reads == 1  # the surviving reader took the slot
+
+    def test_repeated_runs_do_not_accumulate_observers(self):
+        c = SodaCluster(n=5, f=2, seed=3)
+        before = len(c.history._observers)
+        c.run_streamed(operations=5, seed=1)
+        c.run_streamed(operations=5, seed=2)
+        assert len(c.history._observers) == before
+
+    def test_external_operations_do_not_perturb_stats(self):
+        """Completions of ops scheduled outside the closed loop must not
+        leak into the run's accounting or trigger extra issues."""
+        c = SodaCluster(n=5, f=2, seed=3)
+        c.schedule_write(0.5, b"external")
+        stats = c.run_streamed(operations=10, seed=1)
+        assert stats.issued == 10
+        assert stats.completed == 10
+        assert stats.in_flight_at_end == 0

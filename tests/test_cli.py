@@ -62,6 +62,55 @@ class TestExperiments:
         assert main(["experiment", "nonsense"]) == 2
 
 
+class TestLongrunCommand:
+    def test_longrun_writes_artefacts_and_reports_verdict(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "longrun",
+                    "--protocol",
+                    "SODA",
+                    "--ops",
+                    "120",
+                    "--epoch-ops",
+                    "60",
+                    "--jobs",
+                    "1",
+                    "--seed",
+                    "3",
+                    "--results-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "merged verdict  : ATOMIC" in out
+        assert "stream_max_resident" in out
+        assert (tmp_path / "longrun_soda_120.json").exists()
+        assert (tmp_path / "longrun_soda_120.csv").exists()
+
+    def test_longrun_no_artefacts(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "longrun",
+                    "--ops",
+                    "60",
+                    "--epoch-ops",
+                    "60",
+                    "--results-dir",
+                    str(tmp_path),
+                    "--no-artefacts",
+                ]
+            )
+            == 0
+        )
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestSweepCommand:
     def test_list_sweeps(self, capsys):
         assert main(["experiment", "sweep", "--list"]) == 0
