@@ -6,7 +6,6 @@ actually experience concurrency.  This ablation sweeps the concurrency
 level and reports both systems' storage and read cost side by side.
 """
 
-import pytest
 
 from repro.analysis.experiments import tradeoff_experiment
 

@@ -5,7 +5,6 @@ that the measured per-write cost stays below the bound while growing
 super-linearly in f, as the paper predicts.
 """
 
-import pytest
 
 from repro.analysis.experiments import write_cost_vs_f
 

@@ -11,10 +11,13 @@ Two artefacts track the repository's performance trajectory:
   deterministic ``<proto>_completion_ratio``), a sweep-engine throughput
   row (``sweep_points_per_s``), a streaming-checker throughput row
   (``stream_ops_per_s``, the incremental atomicity checker over a
-  bounded-memory recorder) and real-cluster longrun rows
+  bounded-memory recorder), real-cluster longrun rows
   (``longrun_ops_per_s`` / ``longrun_events_per_s`` wall rates plus the
   gated ``longrun_max_resident`` memory gauge — see
-  :mod:`repro.analysis.longrun`).
+  :mod:`repro.analysis.longrun`) and multi-object namespace rows
+  (``multiobj_ops_per_s`` / ``multiobj_events_per_s`` for an 8-register
+  Zipf-skewed namespace run, plus the gated ``multiobj_max_resident``
+  per-object recorder gauge).
 
 Usage::
 
@@ -50,7 +53,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 from bench_gf_kernels import bench_erasure  # noqa: E402
 
 from repro.analysis.experiments import storage_cost_vs_f  # noqa: E402
-from repro.analysis.longrun import run_longrun  # noqa: E402
+from repro.analysis.longrun import run_longrun, run_multi_longrun  # noqa: E402
 from repro.baselines.registry import make_cluster  # noqa: E402
 from repro.consistency.incremental import IncrementalAtomicityChecker  # noqa: E402
 from repro.consistency.stream import StreamingRecorder  # noqa: E402
@@ -96,7 +99,11 @@ GATED_METRICS = {
 #: bounded-memory property itself regressed.
 GATED_MEMORY_METRICS = {
     "erasure": [],
-    "sim": ["stream_max_resident", "longrun_max_resident"],
+    "sim": [
+        "stream_max_resident",
+        "longrun_max_resident",
+        "multiobj_max_resident",
+    ],
 }
 REGRESSION_FACTOR = 2.0
 
@@ -205,6 +212,34 @@ def bench_sim(*, quick: bool = False, seed: int = 7) -> Dict[str, object]:
     results["longrun_events_per_s"] = report.events / report.wall_s
     results["longrun_max_resident"] = float(report.stream_max_resident)
 
+    # Multi-object namespace throughput: 8 registers multiplexed over one
+    # shared simulation, Zipf-skewed hot key, per-object bounded recorders
+    # + online checkers, namespace verdict merged per object.  The
+    # residency gauge (max over the per-object recorders) is deterministic
+    # and gated; the rate row is a trajectory record.
+    multiobj_ops = 1_000 if quick else 8_000
+    multiobj_report = run_multi_longrun(
+        "SODA",
+        ops=multiobj_ops,
+        epoch_ops=max(500, multiobj_ops // 4),
+        jobs=1,
+        objects=8,
+        key_dist="zipf:1.1",
+        n=5,  # match the other sim rows' cluster shape
+        f=2,
+        seed=seed,
+    )
+    if not multiobj_report.ok:  # pragma: no cover - would be a checker bug
+        raise RuntimeError(
+            f"multiobj verdict reported violations: "
+            f"{multiobj_report.verdict.violations()}"
+        )
+    results["multiobj_ops_per_s"] = multiobj_report.ops_per_s
+    results["multiobj_events_per_s"] = (
+        multiobj_report.events / multiobj_report.wall_s
+    )
+    results["multiobj_max_resident"] = float(multiobj_report.stream_max_resident)
+
     return {
         "params": {
             "n": 5,
@@ -219,6 +254,9 @@ def bench_sim(*, quick: bool = False, seed: int = 7) -> Dict[str, object]:
             "sweep_points": len(sweep_f_values),
             "stream_operations": stream_ops,
             "longrun_operations": longrun_ops,
+            "multiobj_operations": multiobj_ops,
+            "multiobj_objects": 8,
+            "multiobj_key_dist": "zipf:1.1",
             "seed": seed,
         },
         "results": results,

@@ -53,7 +53,6 @@ from repro.sim.failures import CrashSchedule
 from repro.workloads.generator import WorkloadSpec, run_workload
 from repro.workloads.scenarios import (
     concurrent_read_scenario,
-    crash_heavy_scenario,
     sequential_scenario,
     skewed_scenario,
 )

@@ -20,8 +20,8 @@ and an elastic ``~2 (delta_w + 1)`` read cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.analysis import theoretical
 from repro.baselines.registry import make_cluster

@@ -8,7 +8,7 @@ same way.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import List
 
 from repro.baselines.abd import AbdCluster
 from repro.baselines.cas import CasCluster

@@ -26,6 +26,12 @@ real-cluster simulation through bounded recorders with the incremental
 atomicity checker attached online, sharded into epochs over ``J``
 processes; the merged verdict and the JSON/CSV artefacts written under
 ``--results-dir`` are byte-identical for every jobs count.
+
+``experiment longrun --objects N --key-dist zipf:1.1`` switches to the
+multi-object namespace engine: N independent registers multiplexed over
+one shared simulation per epoch, keyed load split by the distribution
+(object 0 is the hottest key), checked per object and merged into
+per-object + aggregate namespace verdicts (``results/multiobj_*``).
 """
 
 from __future__ import annotations
@@ -36,7 +42,12 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import experiments as exp
-from repro.analysis.longrun import run_longrun, write_longrun_artefacts
+from repro.analysis.longrun import (
+    run_longrun,
+    run_multi_longrun,
+    write_longrun_artefacts,
+    write_multiobj_artefacts,
+)
 from repro.analysis.sweeps import available_sweeps, rows_as_dicts, run_named_sweep
 from repro.analysis.tables import format_table, generate_table1
 from repro.baselines.registry import available_protocols, make_cluster
@@ -99,7 +110,81 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_multiobj_longrun(args: argparse.Namespace) -> int:
+    try:
+        report = run_multi_longrun(
+            args.protocol,
+            ops=args.ops,
+            epoch_ops=args.epoch_ops,
+            jobs=args.jobs,
+            objects=args.objects,
+            key_dist=args.key_dist,
+            n=args.n,
+            f=args.f,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"{report.protocol} multiobj longrun: {report.issued} ops over "
+        f"{report.objects} objects ({report.params['key_dist']}), "
+        f"{len(report.epochs)} epochs ({args.jobs} jobs), "
+        f"{report.completed} completed, {report.failed} failed"
+    )
+    print(
+        f"throughput      : {report.ops_per_s:.0f} ops/s wall "
+        f"({report.events} simulated events in {report.wall_s:.1f}s)"
+    )
+    print(
+        f"memory gauge    : stream_max_resident={report.stream_max_resident} "
+        f"records across {report.objects} per-object recorders "
+        f"(window {report.params['window']})"
+    )
+    verdict = report.verdict
+    print(
+        f"namespace       : {'ATOMIC' if report.ok else 'VIOLATIONS'} "
+        f"({verdict.clusters} clusters, {verdict.crossings_tested} crossings "
+        f"tested, {verdict.shards} shards per object)"
+    )
+    hot = max(
+        enumerate(report.object_totals()), key=lambda pair: pair[1]["issued"]
+    )
+    print(
+        f"hottest object  : o{hot[0]} with {hot[1]['issued']} ops "
+        f"({hot[1]['writes']} writes / {hot[1]['reads']} reads)"
+    )
+    for j, merged in enumerate(verdict.per_object):
+        status = "atomic" if merged.ok else "VIOLATIONS"
+        print(
+            f"  object o{j:<3}: {status} ({merged.clusters} clusters, "
+            f"{merged.ops_seen} ops)"
+        )
+        for violation in merged.violations[:3]:
+            print(f"    merged : [{violation.kind}] {violation.description}")
+    for obj, violation in report.local_violations[:5]:
+        print(f"  online o{obj}: {violation}")
+    if not args.no_artefacts:
+        json_path, csv_path = write_multiobj_artefacts(
+            report, Path(args.results_dir)
+        )
+        print(f"artefacts       : {json_path} {csv_path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_longrun(args: argparse.Namespace) -> int:
+    if args.objects < 1:
+        print(f"--objects must be at least 1, got {args.objects}", file=sys.stderr)
+        return 2
+    if args.objects > 1:
+        return _cmd_multiobj_longrun(args)
+    if args.key_dist != "uniform":
+        print(
+            f"--key-dist {args.key_dist!r} has no effect on a single register; "
+            f"pass --objects N (N > 1) for a keyed namespace run",
+            file=sys.stderr,
+        )
+        return 2
     report = run_longrun(
         args.protocol,
         ops=args.ops,
@@ -272,6 +357,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=25_000,
         help="with 'longrun': operations per epoch (the sharding grain; "
         "the verdict is identical for any value of --jobs)",
+    )
+    p_exp.add_argument(
+        "--objects",
+        type=int,
+        default=1,
+        help="with 'longrun': number of register objects in the namespace "
+        "(>1 runs the multi-object engine with per-object sharded checking)",
+    )
+    p_exp.add_argument(
+        "--key-dist",
+        default="uniform",
+        help="with 'longrun --objects N': key popularity, 'uniform' or "
+        "'zipf:<theta>' (object 0 is the hottest key)",
     )
     p_exp.add_argument(
         "--results-dir",

@@ -31,10 +31,13 @@ from repro.consistency.incremental import (
     check_history_incrementally,
 )
 from repro.consistency.lemma_check import AtomicityViolation, check_lemma_properties
+from repro.consistency.multiplex import ObjectCheckerMux
 from repro.consistency.shardmerge import (
     MergedCheckResult,
+    NamespaceCheckResult,
     ShardVerdict,
     check_history_sharded,
+    merge_namespace_verdicts,
     merge_shard_verdicts,
     shard_verdict_from_checker,
 )
@@ -48,8 +51,11 @@ __all__ = [
     "IncrementalAtomicityChecker",
     "IncrementalCheckResult",
     "MergedCheckResult",
+    "NamespaceCheckResult",
+    "ObjectCheckerMux",
     "OperationRecord",
     "ShardVerdict",
+    "merge_namespace_verdicts",
     "StreamingRecorder",
     "StreamObserver",
     "AtomicityViolation",

@@ -1,0 +1,131 @@
+"""Per-object checker multiplexing for multi-register namespaces.
+
+Atomicity is a per-register property: a namespace execution is correct iff
+every object's projected history is linearizable on its own.  The
+:class:`ObjectCheckerMux` therefore gives each object of a
+:class:`~repro.runtime.namespace.MultiRegisterCluster` its own bounded
+:class:`~repro.consistency.stream.StreamingRecorder` with its own
+:class:`~repro.consistency.incremental.IncrementalAtomicityChecker`
+subscribed — operations recorded by object ``j``'s clients flow only
+through checker ``j``, so a violation on one object can never mask, nor be
+masked by, the traffic of another (the isolation tests inject a violation
+on a single object and assert exactly that object's checker flags it).
+
+For epoch-sharded long runs the mux also packages its checkers into
+per-object :class:`~repro.consistency.shardmerge.ShardVerdict` exports;
+:func:`repro.consistency.shardmerge.merge_namespace_verdicts` then merges
+each object's shards independently and aggregates the per-object verdicts
+into one namespace verdict.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.consistency.incremental import IncrementalAtomicityChecker, Violation
+from repro.consistency.shardmerge import ShardVerdict, shard_verdict_from_checker
+from repro.consistency.stream import HistorySink, StreamingRecorder
+
+
+class ObjectCheckerMux:
+    """One bounded recorder + online checker per namespace object.
+
+    Use the mux's :meth:`recorder` as the ``recorder_factory`` of a
+    :class:`~repro.runtime.namespace.MultiRegisterCluster`::
+
+        mux = ObjectCheckerMux(objects=8, window=256)
+        cluster = MultiRegisterCluster("SODA", 6, 2, objects=8,
+                                       recorder_factory=mux.recorder)
+        ... run ...
+        assert mux.ok, mux.violations()
+    """
+
+    def __init__(
+        self,
+        objects: int,
+        *,
+        window: int = 256,
+        frontier_limit: int = 256,
+        initial_value: bytes = b"",
+        unknown_values: str = "flag",
+        max_violations: int = 16,
+    ) -> None:
+        if objects < 1:
+            raise ValueError("need at least one object")
+        self.recorders: List[StreamingRecorder] = []
+        self.checkers: List[IncrementalAtomicityChecker] = []
+        for _ in range(objects):
+            recorder = StreamingRecorder(window=window)
+            checker = recorder.subscribe(
+                IncrementalAtomicityChecker(
+                    initial_value=initial_value,
+                    frontier_limit=frontier_limit,
+                    unknown_values=unknown_values,
+                    max_violations=max_violations,
+                )
+            )
+            self.recorders.append(recorder)
+            self.checkers.append(checker)
+
+    def __len__(self) -> int:
+        return len(self.checkers)
+
+    # ------------------------------------------------------------------
+    # per-object access
+    # ------------------------------------------------------------------
+    def recorder(self, index: int) -> HistorySink:
+        """Object ``index``'s sink (shaped as a ``recorder_factory``)."""
+        return self.recorders[index]
+
+    def checker(self, index: int) -> IncrementalAtomicityChecker:
+        return self.checkers[index]
+
+    # ------------------------------------------------------------------
+    # aggregate verdicts
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return all(checker.ok for checker in self.checkers)
+
+    def violations(self) -> List[Tuple[int, Violation]]:
+        """Every online violation, tagged with its object index."""
+        return [
+            (index, violation)
+            for index, checker in enumerate(self.checkers)
+            for violation in checker.violations
+        ]
+
+    def flagged_objects(self) -> List[int]:
+        return [i for i, checker in enumerate(self.checkers) if not checker.ok]
+
+    @property
+    def max_resident(self) -> int:
+        """Peak resident records across the per-object recorders — the
+        namespace's bounded-memory gauge."""
+        return max(recorder.max_resident for recorder in self.recorders)
+
+    @property
+    def evicted_count(self) -> int:
+        return sum(recorder.evicted_count for recorder in self.recorders)
+
+    @property
+    def ops_seen(self) -> int:
+        return sum(checker.ops_seen for checker in self.checkers)
+
+    # ------------------------------------------------------------------
+    # shard exports
+    # ------------------------------------------------------------------
+    def shard_verdicts(self, shard_index: int) -> List[ShardVerdict]:
+        """Package every object's checker state as that object's
+        contribution (shard ``shard_index``) to a sharded namespace check."""
+        return [
+            shard_verdict_from_checker(shard_index, checker)
+            for checker in self.checkers
+        ]
+
+
+def project_violations(
+    violations: Sequence[Tuple[int, Violation]], index: int
+) -> List[Violation]:
+    """The subset of object-tagged ``violations`` belonging to ``index``."""
+    return [violation for obj, violation in violations if obj == index]

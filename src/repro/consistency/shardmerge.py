@@ -317,6 +317,98 @@ def merge_shard_verdicts(
     )
 
 
+@dataclass(frozen=True)
+class NamespaceCheckResult:
+    """The verdict of a multi-object (namespace) sharded check.
+
+    ``per_object[j]`` is object ``j``'s own :class:`MergedCheckResult` —
+    produced by exactly the same :func:`merge_shard_verdicts` pass a
+    single-register run uses, applied to that object's shards only.  The
+    namespace verdict is their conjunction: atomicity composes per
+    register, so a namespace execution is correct iff every object's
+    projected history is linearizable.
+    """
+
+    ok: bool
+    per_object: Tuple[MergedCheckResult, ...]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @property
+    def objects(self) -> int:
+        return len(self.per_object)
+
+    @property
+    def shards(self) -> int:
+        return max((v.shards for v in self.per_object), default=0)
+
+    @property
+    def ops_seen(self) -> int:
+        return sum(v.ops_seen for v in self.per_object)
+
+    @property
+    def reads_checked(self) -> int:
+        return sum(v.reads_checked for v in self.per_object)
+
+    @property
+    def clusters(self) -> int:
+        return sum(v.clusters for v in self.per_object)
+
+    @property
+    def crossings_tested(self) -> int:
+        return sum(v.crossings_tested for v in self.per_object)
+
+    def flagged_objects(self) -> List[int]:
+        return [j for j, verdict in enumerate(self.per_object) if not verdict.ok]
+
+    def violations(self) -> List[Tuple[int, Violation]]:
+        """Every merged violation, tagged with its object index."""
+        return [
+            (j, violation)
+            for j, verdict in enumerate(self.per_object)
+            for violation in verdict.violations
+        ]
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "objects": self.objects,
+            "shards": self.shards,
+            "ops_seen": self.ops_seen,
+            "reads_checked": self.reads_checked,
+            "clusters": self.clusters,
+            "crossings_tested": self.crossings_tested,
+            "flagged_objects": self.flagged_objects(),
+            "per_object": [verdict.to_jsonable() for verdict in self.per_object],
+        }
+
+
+def merge_namespace_verdicts(
+    shards_by_object: Sequence[Sequence[ShardVerdict]],
+    *,
+    initial_value: Optional[bytes] = b"",
+    max_violations: int = 16,
+) -> NamespaceCheckResult:
+    """Merge a namespace run's shards **per object**, then aggregate.
+
+    ``shards_by_object[j]`` holds object ``j``'s shard exports (one per
+    epoch of a sharded long run).  Each object is merged independently —
+    objects are separate registers, so their summaries must never be
+    reconciled against each other — and the per-object verdicts are
+    combined into one :class:`NamespaceCheckResult`.
+    """
+    per_object = tuple(
+        merge_shard_verdicts(
+            shards, initial_value=initial_value, max_violations=max_violations
+        )
+        for shards in shards_by_object
+    )
+    return NamespaceCheckResult(
+        ok=all(verdict.ok for verdict in per_object), per_object=per_object
+    )
+
+
 def check_history_sharded(
     history: History,
     *,

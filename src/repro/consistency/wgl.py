@@ -26,9 +26,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
-from repro.consistency.history import READ, WRITE, History, OperationRecord
+from repro.consistency.history import READ, WRITE, History
 
 
 @dataclass(frozen=True)

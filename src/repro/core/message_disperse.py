@@ -29,7 +29,7 @@ for the two deliver events.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, List, Optional, Sequence, Set
 
 from repro.core.messages import (
     MDMeta,

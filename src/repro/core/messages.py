@@ -14,8 +14,8 @@ Message identifiers for the message-disperse primitives are
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.core.tags import Tag
 from repro.erasure.mds import CodedElement

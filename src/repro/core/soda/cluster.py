@@ -8,7 +8,6 @@ uses an ``[n, k]`` MDS code with ``k = n - f`` and tolerates up to
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.soda.reader import SodaReader
 from repro.core.soda.server import SodaServer

@@ -75,7 +75,9 @@ class SodaErrCluster(SodaCluster):
         if self._shared_disk_error_model is None:
             error_prone = None
             if self._error_prone_server_indices is not None:
-                error_prone = [f"s{i}" for i in self._error_prone_server_indices]
+                error_prone = [
+                    self.server_ids[i] for i in self._error_prone_server_indices
+                ]
             # Default cap: never inject more errors than a single read can
             # tolerate unless the experiment explicitly overrides the cap.
             self._shared_disk_error_model = DiskErrorModel(

@@ -10,7 +10,7 @@ the trackers below simply aggregate those attributes.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, Hashable, Optional
 
 from repro.sim.network import MessageRecord, Network

@@ -12,3 +12,8 @@ benchmarks.
 from repro.runtime.cluster import RegisterCluster, ScheduledOperation
 
 __all__ = ["RegisterCluster", "ScheduledOperation"]
+
+# repro.runtime.namespace (MultiRegisterCluster) is intentionally not
+# imported here: it depends on repro.baselines.registry, which imports the
+# protocol packages — importing it eagerly would turn ``import
+# repro.runtime`` into an import of the whole protocol stack.

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -97,6 +97,9 @@ class RegisterCluster(ABC):
         initial_value: bytes = b"",
         keep_message_trace: bool = False,
         recorder: Optional[HistorySink] = None,
+        sim: Optional[Simulation] = None,
+        namespace: str = "",
+        costs: Optional[CommunicationCostTracker] = None,
     ) -> None:
         if n < 1:
             raise ValueError("need at least one server")
@@ -109,17 +112,38 @@ class RegisterCluster(ABC):
         self.num_writers = num_writers
         self.num_readers = num_readers
         self.initial_value = initial_value
+        #: Pid prefix isolating this register's processes inside a shared
+        #: simulation.  The multi-object namespace layer
+        #: (:class:`repro.runtime.namespace.MultiRegisterCluster`) gives each
+        #: register object a distinct prefix (``"o3/"``), so N independent
+        #: protocol instances can interleave on one event queue and clock.
+        self.namespace = namespace
         self._validate_parameters()
 
-        self.sim = Simulation(
-            seed=seed, delay_model=delay_model, keep_message_trace=keep_message_trace
-        )
+        if sim is not None:
+            # Shared-simulation mode: the namespace layer owns the clock,
+            # the event queue and the delay model; seed/delay_model/
+            # keep_message_trace are the owner's to choose.
+            self.sim = sim
+        else:
+            self.sim = Simulation(
+                seed=seed,
+                delay_model=delay_model,
+                keep_message_trace=keep_message_trace,
+            )
         # Clients record operations through the narrow HistorySink interface;
         # the default sink is the keep-everything History, but long workloads
         # can pass a bounded StreamingRecorder (with, e.g., the incremental
         # atomicity checker subscribed) instead.
         self.history: HistorySink = recorder if recorder is not None else History()
-        self.costs = CommunicationCostTracker().attach(self.sim.network)
+        # One network send-listener per tracker: clusters sharing a
+        # simulation must also share one tracker, or each would shadow-count
+        # every other object's traffic.
+        self.costs = (
+            costs
+            if costs is not None
+            else CommunicationCostTracker().attach(self.sim.network)
+        )
         self.storage = StorageTracker()
         self.failures = FailureInjector(self.sim)
 
@@ -130,9 +154,9 @@ class RegisterCluster(ABC):
         self.encoder = CachedEncoder(self.code)
         self.initial_elements: List[CodedElement] = self.encoder.encode(initial_value)
 
-        self.server_ids = [f"s{i}" for i in range(n)]
-        self.writer_ids = [f"w{i}" for i in range(num_writers)]
-        self.reader_ids = [f"r{i}" for i in range(num_readers)]
+        self.server_ids = [f"{namespace}s{i}" for i in range(n)]
+        self.writer_ids = [f"{namespace}w{i}" for i in range(num_writers)]
+        self.reader_ids = [f"{namespace}r{i}" for i in range(num_readers)]
 
         self.servers: List[Process] = []
         for i, pid in enumerate(self.server_ids):
@@ -327,13 +351,52 @@ class RegisterCluster(ABC):
         operations) instead of hanging.  All randomness derives from
         ``seed``, making the run reproducible event-for-event.
         """
+        events_before = self.sim.events_processed
+        stats, finalize = self._begin_streamed(
+            operations=operations,
+            value_size=value_size,
+            mean_gap=mean_gap,
+            start_window=start_window,
+            seed=seed,
+            value_prefix=value_prefix,
+            warm_batch=warm_batch,
+        )
+        budget = max_events if max_events is not None else max(
+            10_000_000, operations * 2_000
+        )
+        try:
+            self.run(max_events=budget)
+        finally:
+            finalize()
+        stats.events = self.sim.events_processed - events_before
+        return stats
+
+    def _begin_streamed(
+        self,
+        *,
+        operations: int,
+        value_size: int = 32,
+        mean_gap: float = 0.25,
+        start_window: float = 1.0,
+        seed: int = 0,
+        value_prefix: str = "",
+        warm_batch: int = 64,
+    ):
+        """Arm one closed-loop streamed run without running the simulation.
+
+        Schedules the initial per-client invocations and subscribes the
+        closed-loop driver, then returns ``(stats, finalize)``: the caller
+        runs the simulation (possibly alongside other clusters sharing it —
+        the multi-object namespace layer arms one driver per register
+        object) and calls ``finalize()`` afterwards to detach the driver
+        and seal ``stats.end_time``.
+        """
         if operations < 0:
             raise ValueError("operations cannot be negative")
         if mean_gap < 0 or start_window < 0:
             raise ValueError("mean_gap and start_window must be non-negative")
         rng = np.random.default_rng(seed)
         stats = StreamedRunStats(requested=operations)
-        events_before = self.sim.events_processed
 
         clients: List[Process] = [
             *(self.writers[pid] for pid in self.writer_ids),
@@ -453,17 +516,12 @@ class RegisterCluster(ABC):
                 at, (lambda c: lambda: issue(c))(client), label="start streamed op"
             )
 
-        budget = max_events if max_events is not None else max(
-            10_000_000, operations * 2_000
-        )
-        try:
-            self.run(max_events=budget)
-        finally:
+        def finalize() -> None:
             state["active"] = False
             self.history.unsubscribe(driver)
-        stats.end_time = max(stats.end_time, self.sim.now)
-        stats.events = self.sim.events_processed - events_before
-        return stats
+            stats.end_time = max(stats.end_time, self.sim.now)
+
+        return stats, finalize
 
     # ------------------------------------------------------------------
     # failures

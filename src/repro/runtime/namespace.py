@@ -1,0 +1,302 @@
+"""Multi-object register namespaces: many keys, one simulation.
+
+The paper's protocols emulate a *single* atomic register; a production
+namespace serves many keys.  Because atomicity is a per-register property,
+the natural composition is N independent protocol instances — and because
+contention, failures and load skew only interact through *time*, the
+instances must share one clock.  :class:`MultiRegisterCluster` does exactly
+that: it owns one :class:`~repro.sim.simulation.Simulation` (one event
+queue, one delay model, one RNG) and instantiates one full protocol stack
+per object under a pid namespace (object ``j``'s servers are ``o3/s0`` …,
+its clients ``o3/w0`` / ``o3/r0`` …), so all objects' messages interleave
+on the shared timeline exactly as traffic to different keys interleaves in
+a real deployment.
+
+Per-object protocol state stays fully isolated: each object has its own
+servers, erasure coder, storage tracker, failure injector and history sink
+(pass ``recorder_factory`` to give each object a bounded
+:class:`~repro.consistency.stream.StreamingRecorder` with an incremental
+checker subscribed — see :class:`repro.consistency.multiplex.ObjectCheckerMux`).
+Communication cost accounting is shared (one network, one tracker) and
+attributed per operation id, which stays unambiguous because operation ids
+embed the namespaced client pid.
+
+:meth:`MultiRegisterCluster.run_streamed` is the namespace counterpart of
+the single-register closed loop: a
+:class:`~repro.workloads.keyed.KeyDistribution` splits the operation
+budget over objects (Zipf-skewed hot keys or uniform), each object arms
+its own closed-loop driver, and one shared simulation run drives them all
+concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.baselines.registry import make_cluster
+from repro.consistency.history import OperationRecord
+from repro.consistency.stream import HistorySink
+from repro.metrics.costs import CommunicationCostTracker
+from repro.runtime.cluster import RegisterCluster, StreamedRunStats
+from repro.sim.failures import CrashSchedule
+from repro.sim.network import DelayModel
+from repro.sim.simulation import Simulation
+from repro.workloads.keyed import KeyDistribution
+
+
+def object_namespace(index: int) -> str:
+    """The pid prefix of object ``index`` (``"o3/"``)."""
+    return f"o{index}/"
+
+
+@dataclass
+class NamespaceStreamedStats:
+    """Outcome of one namespace-wide closed-loop streamed run."""
+
+    requested: int
+    allocation: List[int] = field(default_factory=list)
+    per_object: List[StreamedRunStats] = field(default_factory=list)
+    end_time: float = 0.0
+    events: int = 0
+
+    @property
+    def issued(self) -> int:
+        return sum(s.issued for s in self.per_object)
+
+    @property
+    def completed(self) -> int:
+        return sum(s.completed for s in self.per_object)
+
+    @property
+    def failed(self) -> int:
+        return sum(s.failed for s in self.per_object)
+
+    @property
+    def writes(self) -> int:
+        return sum(s.writes for s in self.per_object)
+
+    @property
+    def reads(self) -> int:
+        return sum(s.reads for s in self.per_object)
+
+
+class MultiRegisterCluster:
+    """N independent atomic registers multiplexed over one simulation.
+
+    Parameters mirror :class:`~repro.runtime.cluster.RegisterCluster`; the
+    extra ones are ``objects`` (the namespace size), ``recorder_factory``
+    (``obj_index -> HistorySink`` so each object can record through its own
+    bounded sink) and ``protocol_kwargs`` (protocol-specific constructor
+    arguments such as CASGC's ``delta``, applied to every object).
+    """
+
+    def __init__(
+        self,
+        protocol: str,
+        n: int,
+        f: int,
+        *,
+        objects: int,
+        num_writers: int = 1,
+        num_readers: int = 1,
+        seed: int = 0,
+        delay_model: Optional[DelayModel] = None,
+        initial_value: bytes = b"",
+        keep_message_trace: bool = False,
+        recorder_factory=None,
+        protocol_kwargs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if objects < 1:
+            raise ValueError("need at least one object")
+        self.protocol = protocol
+        self.n = n
+        self.f = f
+        self.sim = Simulation(
+            seed=seed, delay_model=delay_model, keep_message_trace=keep_message_trace
+        )
+        self.costs = CommunicationCostTracker().attach(self.sim.network)
+        self.objects: List[RegisterCluster] = []
+        for j in range(objects):
+            recorder: Optional[HistorySink] = (
+                recorder_factory(j) if recorder_factory is not None else None
+            )
+            self.objects.append(
+                make_cluster(
+                    protocol,
+                    n,
+                    f,
+                    num_writers=num_writers,
+                    num_readers=num_readers,
+                    initial_value=initial_value,
+                    recorder=recorder,
+                    sim=self.sim,
+                    namespace=object_namespace(j),
+                    costs=self.costs,
+                    **dict(protocol_kwargs or {}),
+                )
+            )
+        self.protocol_name = self.objects[0].protocol_name
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def object(self, index: int) -> RegisterCluster:
+        """The protocol instance serving object ``index``."""
+        return self.objects[index]
+
+    def server_ids_by_object(self) -> List[List[str]]:
+        return [list(obj.server_ids) for obj in self.objects]
+
+    # ------------------------------------------------------------------
+    # blocking operations (shared clock: other objects progress too)
+    # ------------------------------------------------------------------
+    def write(
+        self, index: int, value: bytes, writer: Union[int, str] = 0
+    ) -> OperationRecord:
+        return self.object(index).write(value, writer)
+
+    def read(self, index: int, reader: Union[int, str] = 0) -> OperationRecord:
+        return self.object(index).read(reader)
+
+    def run(self, *, max_events: int = 10_000_000) -> None:
+        """Run the shared simulation to quiescence."""
+        self.sim.run(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # closed-loop streaming over the whole namespace
+    # ------------------------------------------------------------------
+    def run_streamed(
+        self,
+        *,
+        operations: int,
+        key_dist: Optional[KeyDistribution] = None,
+        value_size: int = 32,
+        mean_gap: float = 0.25,
+        start_window: float = 1.0,
+        seed: int = 0,
+        value_prefix: str = "",
+        warm_batch: int = 64,
+        max_events: Optional[int] = None,
+    ) -> NamespaceStreamedStats:
+        """Drive ``operations`` keyed client operations through the
+        namespace in one shared simulation run.
+
+        The operation budget is split over objects by one deterministic
+        multinomial draw from ``key_dist`` (uniform by default); each
+        object then runs its own closed loop — one pending invocation per
+        client, per-object derived seeds, per-object unique value prefixes
+        (``{value_prefix}o{j}|…``) — concurrently on the shared clock.
+        Everything derives from ``seed``, so the run is reproducible
+        event-for-event and independent of how many worker processes a
+        sharded analysis fans epochs over.
+        """
+        if operations < 0:
+            raise ValueError("operations cannot be negative")
+        dist = key_dist if key_dist is not None else KeyDistribution.uniform()
+        rng = np.random.default_rng(seed)
+        allocation = dist.allocate(operations, len(self.objects), rng)
+        object_seeds = [
+            int(s) for s in rng.integers(0, 2**63 - 1, size=len(self.objects))
+        ]
+        events_before = self.sim.events_processed
+
+        stats = NamespaceStreamedStats(requested=operations, allocation=allocation)
+        finalizers = []
+        for j, (obj, ops_j) in enumerate(zip(self.objects, allocation)):
+            per_obj, finalize = obj._begin_streamed(
+                operations=ops_j,
+                value_size=value_size,
+                mean_gap=mean_gap,
+                start_window=start_window,
+                seed=object_seeds[j],
+                value_prefix=f"{value_prefix}o{j}|",
+                warm_batch=warm_batch,
+            )
+            stats.per_object.append(per_obj)
+            finalizers.append(finalize)
+
+        budget = max_events if max_events is not None else max(
+            10_000_000, operations * 2_000
+        )
+        try:
+            self.sim.run(max_events=budget)
+        finally:
+            for finalize in finalizers:
+                finalize()
+        stats.end_time = self.sim.now
+        stats.events = self.sim.events_processed - events_before
+        return stats
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def crash_server(self, index: int, which: Union[int, str], at_time: float) -> None:
+        self.object(index).crash_server(which, at_time)
+
+    def apply_crash_schedule(self, schedule: CrashSchedule) -> None:
+        """Apply a namespace-wide schedule, enforcing each object's ``f``.
+
+        Events are routed to their object by pid prefix, so every
+        register's fault budget is validated independently (crashing f
+        servers of the hot object must not eat into a cold object's
+        budget).
+        """
+        by_object: Dict[int, CrashSchedule] = {}
+        known = {
+            pid: j
+            for j, obj in enumerate(self.objects)
+            for pid in (*obj.server_ids, *obj.writer_ids, *obj.reader_ids)
+        }
+        for event in schedule:
+            j = known.get(event.pid)
+            if j is None:
+                raise ValueError(
+                    f"crash schedule names {event.pid!r}, which belongs to no "
+                    f"object of this namespace"
+                )
+            by_object.setdefault(j, CrashSchedule()).add(event.pid, event.time)
+        for j, sub in sorted(by_object.items()):
+            self.object(j).apply_crash_schedule(sub)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def operation_cost(self, op_id: str) -> float:
+        """Communication cost of any operation, whichever object served it
+        (operation ids embed the namespaced client pid)."""
+        return self.costs.cost_of(op_id)
+
+    def storage_peak(self) -> float:
+        """Sum of per-object storage peaks (the objects' peaks need not be
+        simultaneous, so this is the worst-case provisioning bound)."""
+        return sum(obj.storage_peak() for obj in self.objects)
+
+    def storage_current(self) -> float:
+        return sum(obj.storage_current() for obj in self.objects)
+
+    def max_resident_records(self) -> int:
+        """Peak resident records over the objects' bounded recorders (0 if
+        an object records through a plain in-memory History)."""
+        return max(
+            (
+                getattr(obj.history, "max_resident", 0)
+                for obj in self.objects
+            ),
+            default=0,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol_name,
+            "objects": len(self.objects),
+            "n": self.n,
+            "f": self.f,
+            "storage_peak": self.storage_peak(),
+            "events_processed": self.sim.events_processed,
+        }

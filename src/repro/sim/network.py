@@ -22,7 +22,7 @@ two optional attributes off each message:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import partial
 from typing import TYPE_CHECKING, Callable, Hashable, Iterable, List, Optional
 

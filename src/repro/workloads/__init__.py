@@ -14,6 +14,11 @@ workloads that exercise the quantities the theorems talk about:
 """
 
 from repro.workloads.generator import WorkloadResult, WorkloadSpec, run_workload
+from repro.workloads.keyed import (
+    KeyDistribution,
+    correlated_crash_schedule,
+    parse_key_dist,
+)
 from repro.workloads.scenarios import (
     concurrent_read_scenario,
     crash_heavy_scenario,
@@ -21,8 +26,11 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "KeyDistribution",
     "WorkloadSpec",
     "WorkloadResult",
+    "correlated_crash_schedule",
+    "parse_key_dist",
     "run_workload",
     "sequential_scenario",
     "concurrent_read_scenario",

@@ -18,7 +18,7 @@ These are the workloads behind the cost experiments:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -1,0 +1,164 @@
+"""Tests for the multi-object (namespace) sharded long-run engine."""
+
+import json
+
+import pytest
+
+from repro.analysis.longrun import (
+    multiobj_artefact_paths,
+    run_multi_longrun,
+    write_multiobj_artefacts,
+)
+from repro.consistency.incremental import check_history_incrementally
+from repro.consistency.wgl import check_linearizability
+
+#: An initial value nothing in a long run ever writes or reads — every
+#: epoch's per-object initial state is modelled as an explicit marker
+#: write, exactly as in the single-register long-run replay.
+GENESIS = b"<genesis>"
+
+
+def small_run(**overrides):
+    defaults = dict(
+        protocol="SODA",
+        ops=240,
+        epoch_ops=80,
+        jobs=1,
+        objects=3,
+        key_dist="zipf:1.0",
+        seed=11,
+    )
+    defaults.update(overrides)
+    return run_multi_longrun(defaults.pop("protocol"), **defaults)
+
+
+class TestJobsDeterminism:
+    """The acceptance property: per-object + aggregate verdicts (and every
+    other deterministic field) are byte-identical for any --jobs."""
+
+    def test_report_identical_for_jobs_1_and_2(self):
+        serial = small_run(jobs=1)
+        sharded = small_run(jobs=2)
+        assert json.dumps(serial.to_jsonable(), sort_keys=True) == json.dumps(
+            sharded.to_jsonable(), sort_keys=True
+        )
+        assert serial.ok and sharded.ok
+
+    def test_artefact_bytes_identical_across_jobs(self, tmp_path):
+        for jobs, sub in ((1, "j1"), (3, "j3")):
+            report = small_run(jobs=jobs)
+            write_multiobj_artefacts(report, tmp_path / sub)
+        for suffix in (".json", ".csv"):
+            first = (tmp_path / "j1" / f"multiobj_soda_3x240{suffix}").read_bytes()
+            second = (tmp_path / "j3" / f"multiobj_soda_3x240{suffix}").read_bytes()
+            assert first == second
+
+
+class TestVerdictCrossValidation:
+    def test_per_object_verdicts_match_monolithic_checkers(self):
+        """Acceptance: rebuild each object's merged global history and feed
+        it to the single-stream incremental checker and WGL — all three
+        verdict paths must agree per object."""
+        report = small_run(ops=180, epoch_ops=60, keep_records=True)
+        assert report.ok
+        for j in range(report.objects):
+            history = report.replay_history(j)
+            # markers: one per epoch; plus every operation the object served
+            ops_served = sum(
+                row.issued for row in report.object_rows if row.object == j
+            )
+            assert len(history) == ops_served + len(report.epochs)
+            assert bool(check_history_incrementally(history, initial_value=GENESIS))
+            assert bool(check_linearizability(history, initial_value=GENESIS))
+
+    def test_namespace_verdict_shape(self):
+        report = small_run()
+        verdict = report.verdict
+        assert verdict.objects == 3
+        assert verdict.shards == len(report.epochs)
+        assert len(verdict.per_object) == 3
+        assert all(v.ok for v in verdict.per_object)
+        assert verdict.ops_seen == report.issued
+        assert verdict.flagged_objects() == []
+
+    @pytest.mark.parametrize("protocol", ["SODA", "ABD", "CAS"])
+    def test_other_protocols_stream_atomically(self, protocol):
+        report = run_multi_longrun(
+            protocol,
+            ops=120,
+            epoch_ops=60,
+            jobs=1,
+            objects=2,
+            key_dist="uniform",
+            seed=23,
+        )
+        assert report.ok, report.verdict.violations()
+        assert report.issued == 120
+        assert report.completed == 120
+
+
+class TestKeyedLoad:
+    def test_zipf_concentrates_on_the_hot_object(self):
+        report = small_run(objects=4, key_dist="zipf:2.0", ops=400, epoch_ops=100)
+        totals = [t["issued"] for t in report.object_totals()]
+        assert sum(totals) == 400
+        assert totals[0] > totals[-1]
+        assert totals[0] > 400 // 4
+
+    def test_uniform_spreads_the_load(self):
+        report = small_run(objects=4, key_dist="uniform", ops=400, epoch_ops=100)
+        totals = [t["issued"] for t in report.object_totals()]
+        assert sum(totals) == 400
+        assert max(totals) < 2 * min(totals) + 40  # no systematic hot key
+
+    def test_params_record_the_canonical_dist(self):
+        report = small_run(key_dist="ZIPF:1.10")
+        assert report.params["key_dist"] == "zipf:1.1"
+
+
+class TestBoundedMemory:
+    def test_resident_records_stay_near_window(self):
+        report = small_run(ops=300, epoch_ops=100, window=16)
+        # Per-object recorders: window + one in-flight op per client
+        # (1 writer + 1 reader per object here).
+        assert report.stream_max_resident <= 16 + 2
+        assert report.params["window"] == 16
+
+
+class TestArtefacts:
+    def test_written_files_and_paths(self, tmp_path):
+        report = small_run()
+        json_path, csv_path = write_multiobj_artefacts(report, tmp_path)
+        assert (json_path, csv_path) == multiobj_artefact_paths(report, tmp_path)
+        payload = json.loads(json_path.read_text())
+        assert payload["kind"] == "multiobj-longrun"
+        assert payload["protocol"] == "SODA"
+        assert payload["params"]["objects"] == 3
+        assert payload["verdict"]["ok"] is True
+        assert len(payload["verdict"]["per_object"]) == 3
+        assert payload["totals"]["issued"] == 240
+        assert len(payload["epochs"]) == 3
+        assert len(payload["object_rows"]) == 3 * 3  # epochs x objects
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("epoch,object,seed,")
+        assert len(lines) == 1 + 3 * 3
+
+    def test_jsonable_excludes_wall_clock(self):
+        flat = json.dumps(small_run().to_jsonable())
+        assert "wall" not in flat
+        assert "ops_per_s" not in flat
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError, match="ops must be positive"):
+            run_multi_longrun("SODA", ops=0, objects=2)
+        with pytest.raises(ValueError, match="objects must be positive"):
+            run_multi_longrun("SODA", ops=10, objects=0)
+        with pytest.raises(ValueError, match="unknown key distribution"):
+            run_multi_longrun("SODA", ops=10, objects=2, key_dist="hotcold")
+
+    def test_whole_history_guard(self):
+        report = small_run()
+        with pytest.raises(TypeError, match="keep_records"):
+            report.replay_history(0)

@@ -17,6 +17,9 @@ a history non-linearizable (a swap can be masked by concurrency), which
 is exactly the point — the three verdicts must agree either way.
 """
 
+import os
+import zlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -28,6 +31,18 @@ from repro.consistency.shardmerge import check_history_sharded
 from repro.consistency.wgl import check_linearizability
 
 SHARD_COUNTS = (1, 2, 3)
+
+#: Nightly-fuzz knobs (see .github/workflows/nightly-fuzz.yml): FUZZ_FACTOR
+#: multiplies every generated-case count, FUZZ_SEED shifts the generators
+#: into fresh territory.  Defaults keep the CI-sized deterministic run.
+FUZZ_FACTOR = int(os.environ.get("FUZZ_FACTOR", "1"))
+FUZZ_SEED = int(os.environ.get("FUZZ_SEED", "0"))
+
+
+def fuzz_seed(label: str) -> int:
+    """A stable per-suite seed (crc32, not ``hash``: the latter is salted
+    per interpreter, which would make failures unreproducible)."""
+    return (FUZZ_SEED + zlib.crc32(label.encode())) % 2**32
 
 
 def build_history(
@@ -135,7 +150,9 @@ class TestDifferentialFuzz:
         ],
     )
     def test_all_checkers_agree(self, inject, cases):
-        rng = np.random.default_rng(hash(inject) % 2**32)
+        cases = cases * FUZZ_FACTOR
+        seed = fuzz_seed(inject or "clean")
+        rng = np.random.default_rng(seed)
         checked = 0
         violations_seen = 0
         for trial in range(cases):
@@ -149,13 +166,14 @@ class TestDifferentialFuzz:
             )
             wgl, incremental, sharded = verdicts(history)
             if wgl is not None:
-                assert incremental == wgl, f"{inject} trial {trial}"
+                assert incremental == wgl, f"{inject} trial {trial} (seed {seed})"
             else:
                 # Duplicate write values: both streaming paths must reject.
-                assert not incremental
+                assert not incremental, f"{inject} trial {trial} (seed {seed})"
             for shards, verdict in zip(SHARD_COUNTS, sharded):
                 assert verdict == incremental, (
-                    f"{inject} trial {trial}: shards={shards} disagreed"
+                    f"{inject} trial {trial} (seed {seed}): "
+                    f"shards={shards} disagreed"
                 )
             checked += 1
             violations_seen += not incremental
@@ -186,7 +204,7 @@ ops_strategy = st.lists(
 
 
 class TestHypothesisProperties:
-    @settings(max_examples=120, deadline=None)
+    @settings(max_examples=120 * FUZZ_FACTOR, deadline=None)
     @given(ops=ops_strategy, corrupt=st.booleans(), data=st.data())
     def test_verdicts_agree_on_arbitrary_interval_structures(
         self, ops, corrupt, data
@@ -225,7 +243,7 @@ class TestHypothesisProperties:
         for verdict in sharded:
             assert verdict == incremental
 
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60 * FUZZ_FACTOR, deadline=None)
     @given(shards=st.integers(1, 6), seed=st.integers(0, 2**20))
     def test_shard_count_never_changes_the_verdict(self, shards, seed):
         rng = np.random.default_rng(seed)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import SodaCluster
 from repro.core.tags import TAG_ZERO, Tag
-from repro.sim.network import FixedDelay, UniformDelay
+from repro.sim.network import FixedDelay
 
 
 class TestClusterConstruction:

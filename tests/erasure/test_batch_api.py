@@ -11,7 +11,6 @@ import pytest
 
 from repro.erasure import (
     CachedEncoder,
-    CodedElement,
     DecodingError,
     ReedSolomonCode,
     ReplicationCode,

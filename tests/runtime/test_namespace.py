@@ -1,0 +1,189 @@
+"""Tests for the multi-object register namespace layer."""
+
+import pytest
+
+from repro.consistency.history import History
+from repro.consistency.multiplex import ObjectCheckerMux
+from repro.runtime.namespace import (
+    MultiRegisterCluster,
+    NamespaceStreamedStats,
+    object_namespace,
+)
+from repro.sim.failures import CrashSchedule
+from repro.workloads.keyed import KeyDistribution, correlated_crash_schedule
+
+
+def make_namespace(objects=3, protocol="SODA", **kwargs):
+    defaults = dict(num_writers=1, num_readers=1, seed=7)
+    defaults.update(kwargs)
+    return MultiRegisterCluster(protocol, 5, 2, objects=objects, **defaults)
+
+
+class TestConstruction:
+    def test_objects_share_one_simulation(self):
+        cluster = make_namespace(4)
+        assert len(cluster) == 4
+        for obj in cluster.objects:
+            assert obj.sim is cluster.sim
+            assert obj.costs is cluster.costs
+
+    def test_pid_namespacing(self):
+        cluster = make_namespace(2)
+        assert cluster.object(0).server_ids == [f"o0/s{i}" for i in range(5)]
+        assert cluster.object(1).server_ids == [f"o1/s{i}" for i in range(5)]
+        assert cluster.object(1).writer_ids == ["o1/w0"]
+        assert cluster.object(1).reader_ids == ["o1/r0"]
+        assert object_namespace(3) == "o3/"
+        # Every pid is registered exactly once on the shared simulation.
+        pids = list(cluster.sim.processes)
+        assert len(pids) == len(set(pids)) == 2 * (5 + 1 + 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one object"):
+            make_namespace(0)
+
+    @pytest.mark.parametrize("protocol", ["ABD", "CAS", "CASGC", "SODAerr"])
+    def test_other_protocols_construct(self, protocol):
+        kwargs = {}
+        if protocol == "CASGC":
+            kwargs["protocol_kwargs"] = {"delta": 2}
+        if protocol == "SODAerr":
+            kwargs["protocol_kwargs"] = {"e": 1}
+        cluster = make_namespace(2, protocol=protocol, **kwargs)
+        record = cluster.write(1, b"value-x")
+        assert cluster.read(1).value == b"value-x"
+        assert record.is_complete
+
+
+class TestObjectIndependence:
+    def test_writes_to_one_object_do_not_leak(self):
+        cluster = make_namespace(3, initial_value=b"init")
+        cluster.write(0, b"object0-value")
+        assert cluster.read(0).value == b"object0-value"
+        assert cluster.read(1).value == b"init"
+        assert cluster.read(2).value == b"init"
+
+    def test_per_object_histories(self):
+        cluster = make_namespace(2)
+        cluster.write(0, b"a")
+        cluster.write(1, b"b")
+        h0, h1 = (cluster.object(j).full_history() for j in range(2))
+        assert isinstance(h0, History) and isinstance(h1, History)
+        assert len(h0.writes()) == 1 and len(h1.writes()) == 1
+        assert {op.client for op in h0.operations()} == {"o0/w0"}
+        assert {op.client for op in h1.operations()} == {"o1/w0"}
+
+    def test_cost_attribution_across_objects(self):
+        cluster = make_namespace(2)
+        w0 = cluster.write(0, b"x" * 64)
+        w1 = cluster.write(1, b"y" * 64)
+        assert cluster.operation_cost(w0.op_id) > 0
+        assert cluster.operation_cost(w1.op_id) > 0
+        assert cluster.object(0).operation_cost(w0.op_id) == cluster.operation_cost(
+            w0.op_id
+        )
+
+    def test_storage_aggregates(self):
+        cluster = make_namespace(2)
+        cluster.write(0, b"x" * 32)
+        cluster.write(1, b"y" * 32)
+        assert cluster.storage_peak() >= cluster.object(0).storage_peak()
+        assert cluster.storage_current() == pytest.approx(
+            sum(obj.storage_current() for obj in cluster.objects)
+        )
+
+
+class TestStreamedNamespaceRuns:
+    def test_budget_allocation_and_completion(self):
+        mux = ObjectCheckerMux(3, window=32)
+        cluster = make_namespace(
+            3, num_writers=2, num_readers=2, recorder_factory=mux.recorder
+        )
+        stats = cluster.run_streamed(
+            operations=240, key_dist=KeyDistribution.zipf(1.0), seed=5
+        )
+        assert isinstance(stats, NamespaceStreamedStats)
+        assert sum(stats.allocation) == 240
+        assert stats.issued == stats.completed == 240
+        assert stats.failed == 0
+        assert stats.writes + stats.reads == 240
+        assert [s.issued for s in stats.per_object] == stats.allocation
+        assert mux.ok
+        assert cluster.max_resident_records() == mux.max_resident
+
+    def test_zipf_skews_the_load(self):
+        cluster = make_namespace(4)
+        stats = cluster.run_streamed(
+            operations=400, key_dist=KeyDistribution.zipf(1.5), seed=2
+        )
+        assert stats.allocation[0] > stats.allocation[-1]
+
+    def test_runs_are_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            cluster = make_namespace(3, num_writers=2, num_readers=2)
+            stats = cluster.run_streamed(
+                operations=150, key_dist=KeyDistribution.zipf(1.1), seed=9
+            )
+            outcomes.append(
+                (
+                    stats.allocation,
+                    stats.end_time,
+                    stats.events,
+                    [s.writes for s in stats.per_object],
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_validation(self):
+        cluster = make_namespace(2)
+        with pytest.raises(ValueError, match="cannot be negative"):
+            cluster.run_streamed(operations=-1)
+
+
+class TestNamespaceFailures:
+    def test_crash_schedule_routes_per_object(self):
+        cluster = make_namespace(3)
+        schedule = CrashSchedule()
+        schedule.add("o0/s0", 1.0).add("o0/s1", 1.5).add("o2/s4", 2.0)
+        cluster.apply_crash_schedule(schedule)  # within every object's f=2
+        assert len(cluster.object(0).failures.injected) == 2
+        assert len(cluster.object(1).failures.injected) == 0
+        assert len(cluster.object(2).failures.injected) == 1
+
+    def test_per_object_fault_budget_is_enforced(self):
+        cluster = make_namespace(2)
+        schedule = CrashSchedule()
+        for i in range(3):  # f=2, so three crashes on one object overflow
+            schedule.add(f"o1/s{i}", float(i))
+        with pytest.raises(ValueError, match="more than f=2"):
+            cluster.apply_crash_schedule(schedule)
+
+    def test_unknown_pid_is_rejected(self):
+        cluster = make_namespace(2)
+        with pytest.raises(ValueError, match="belongs to no object"):
+            cluster.apply_crash_schedule(CrashSchedule().add("o7/s0", 1.0))
+
+    def test_correlated_hot_key_crash_burst_stays_atomic(self):
+        """The correlated-key crash scenario: crash f servers of the hot
+        object mid-run; the checker must still see every object atomic."""
+        import numpy as np
+
+        mux = ObjectCheckerMux(3, window=64)
+        cluster = make_namespace(
+            3, num_writers=2, num_readers=2, recorder_factory=mux.recorder
+        )
+        dist = KeyDistribution.zipf(1.5)
+        schedule = correlated_crash_schedule(
+            dist,
+            cluster.server_ids_by_object(),
+            cluster.f,
+            np.random.default_rng(4),
+            at=3.0,
+            width=1.0,
+        )
+        cluster.apply_crash_schedule(schedule)
+        stats = cluster.run_streamed(operations=200, key_dist=dist, seed=11)
+        assert stats.completed == 200
+        assert mux.ok, mux.violations()
+        assert {e.pid.split("/")[0] for e in schedule} == {"o0"}

@@ -8,7 +8,6 @@ import pytest
 from repro.sim.network import (
     ExponentialDelay,
     FixedDelay,
-    Network,
     UniformDelay,
 )
 from repro.sim.process import Process

@@ -111,6 +111,94 @@ class TestLongrunCommand:
         assert list(tmp_path.iterdir()) == []
 
 
+class TestMultiObjectLongrunCommand:
+    def test_parser_accepts_objects_and_key_dist(self):
+        args = build_parser().parse_args(
+            ["experiment", "longrun", "--objects", "8", "--key-dist", "zipf:1.1"]
+        )
+        assert args.objects == 8
+        assert args.key_dist == "zipf:1.1"
+
+    def test_parser_defaults_to_single_object(self):
+        args = build_parser().parse_args(["experiment", "longrun"])
+        assert args.objects == 1
+        assert args.key_dist == "uniform"
+
+    def test_multiobj_run_writes_artefacts_and_reports_verdicts(
+        self, capsys, tmp_path
+    ):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "longrun",
+                    "--protocol",
+                    "SODA",
+                    "--ops",
+                    "120",
+                    "--epoch-ops",
+                    "60",
+                    "--objects",
+                    "3",
+                    "--key-dist",
+                    "zipf:1.5",
+                    "--seed",
+                    "3",
+                    "--results-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "namespace       : ATOMIC" in out
+        assert "hottest object  : o0" in out
+        assert "object o0" in out and "object o2" in out
+        assert (tmp_path / "multiobj_soda_3x120.json").exists()
+        assert (tmp_path / "multiobj_soda_3x120.csv").exists()
+
+    def test_zero_objects_exits_2(self, capsys):
+        assert (
+            main(["experiment", "longrun", "--ops", "20", "--objects", "0"]) == 2
+        )
+        assert "--objects must be at least 1" in capsys.readouterr().err
+
+    def test_key_dist_without_objects_exits_2(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "longrun",
+                    "--ops",
+                    "20",
+                    "--key-dist",
+                    "zipf:1.1",
+                ]
+            )
+            == 2
+        )
+        assert "no effect on a single register" in capsys.readouterr().err
+
+    def test_invalid_key_dist_exits_2(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "longrun",
+                    "--ops",
+                    "20",
+                    "--objects",
+                    "2",
+                    "--key-dist",
+                    "hotcold",
+                    "--no-artefacts",
+                ]
+            )
+            == 2
+        )
+        assert "unknown key distribution" in capsys.readouterr().err
+
+
 class TestSweepCommand:
     def test_list_sweeps(self, capsys):
         assert main(["experiment", "sweep", "--list"]) == 0

@@ -6,7 +6,6 @@ them, while their costs must respect the ordering the paper establishes.
 Hypothesis generates the programs.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

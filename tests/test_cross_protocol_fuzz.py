@@ -10,6 +10,8 @@ the soundness half of the fuzz suite, complementing the seeded-violation
 differential tests in ``tests/consistency/test_fuzz_checkers.py``.
 """
 
+import os
+
 import pytest
 
 from repro.baselines.registry import available_protocols, make_cluster
@@ -19,7 +21,19 @@ from repro.sim.failures import CrashSchedule
 from repro.sim.network import SlowDisk, UniformDelay
 
 PROTOCOLS = available_protocols()
-SEEDS = (1, 7)
+
+#: Nightly-fuzz knobs (see .github/workflows/nightly-fuzz.yml): FUZZ_FACTOR
+#: multiplies the seed pool (10x the runs per protocol x scenario),
+#: FUZZ_SEED shifts every seed so each night explores fresh schedules.
+#: The seeds appear in the pytest parametrize ids, so a failing run is
+#: reproducible from the test id alone.
+FUZZ_FACTOR = int(os.environ.get("FUZZ_FACTOR", "1"))
+FUZZ_SEED = int(os.environ.get("FUZZ_SEED", "0"))
+SEEDS = tuple(
+    FUZZ_SEED + base + 13 * round_index
+    for round_index in range(FUZZ_FACTOR)
+    for base in (1, 7)
+)
 OPS = 70
 
 

@@ -1,0 +1,146 @@
+"""Tests for the keyed (multi-object) workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.keyed import (
+    KeyDistribution,
+    correlated_crash_schedule,
+    parse_key_dist,
+)
+
+
+class TestKeyDistribution:
+    def test_uniform_probabilities(self):
+        probs = KeyDistribution.uniform().probabilities(8)
+        assert probs.shape == (8,)
+        assert np.allclose(probs, 1.0 / 8)
+
+    def test_zipf_probabilities_sum_to_one_and_decrease(self):
+        probs = KeyDistribution.zipf(1.2).probabilities(16)
+        assert probs.sum() == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+        assert probs[0] > probs[-1]  # genuinely skewed
+
+    def test_zipf_theta_zero_is_uniform(self):
+        assert np.allclose(
+            KeyDistribution.zipf(0.0).probabilities(5),
+            KeyDistribution.uniform().probabilities(5),
+        )
+
+    def test_higher_theta_is_more_skewed(self):
+        mild = KeyDistribution.zipf(0.5).probabilities(8)
+        steep = KeyDistribution.zipf(2.0).probabilities(8)
+        assert steep[0] > mild[0]
+        assert steep[-1] < mild[-1]
+
+    def test_single_object_degenerates(self):
+        assert KeyDistribution.zipf(1.5).probabilities(1) == pytest.approx([1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown key distribution kind"):
+            KeyDistribution(kind="pareto")
+        with pytest.raises(ValueError, match="non-negative"):
+            KeyDistribution.zipf(-1.0)
+        with pytest.raises(ValueError, match="at least one object"):
+            KeyDistribution.uniform().probabilities(0)
+
+
+class TestDeterminism:
+    def test_allocate_sums_to_total_and_is_deterministic(self):
+        dist = KeyDistribution.zipf(1.1)
+        first = dist.allocate(10_000, 8, np.random.default_rng(42))
+        second = dist.allocate(10_000, 8, np.random.default_rng(42))
+        assert first == second
+        assert sum(first) == 10_000
+        assert len(first) == 8
+
+    def test_different_seeds_differ(self):
+        dist = KeyDistribution.zipf(1.1)
+        first = dist.allocate(10_000, 8, np.random.default_rng(1))
+        second = dist.allocate(10_000, 8, np.random.default_rng(2))
+        assert first != second
+
+    def test_allocation_tracks_skew(self):
+        dist = KeyDistribution.zipf(2.0)
+        counts = dist.allocate(50_000, 8, np.random.default_rng(0))
+        assert counts[0] > counts[-1]
+        assert counts[0] > 50_000 // 8  # hot key above the uniform share
+
+    def test_sample_is_deterministic(self):
+        dist = KeyDistribution.zipf(1.0)
+        first = dist.sample(np.random.default_rng(5), 4, 100)
+        second = dist.sample(np.random.default_rng(5), 4, 100)
+        assert (first == second).all()
+        assert set(first) <= {0, 1, 2, 3}
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "spec,kind,theta",
+        [
+            ("uniform", "uniform", 0.0),
+            ("zipf", "zipf", 1.0),
+            ("zipf:0.9", "zipf", 0.9),
+            ("ZIPF:1.25", "zipf", 1.25),
+            ("  uniform ", "uniform", 0.0),
+        ],
+    )
+    def test_valid_specs(self, spec, kind, theta):
+        dist = parse_key_dist(spec)
+        assert dist.kind == kind
+        assert dist.theta == theta
+
+    def test_round_trip(self):
+        for spec in ("uniform", "zipf:1.1", "zipf:2"):
+            assert parse_key_dist(parse_key_dist(spec).spec()) == parse_key_dist(spec)
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError, match="unknown key distribution"):
+            parse_key_dist("hotcold")
+        with pytest.raises(ValueError, match="invalid zipf exponent"):
+            parse_key_dist("zipf:steep")
+
+
+class TestCorrelatedCrashes:
+    def make_servers(self, objects=4, n=5):
+        return [[f"o{j}/s{i}" for i in range(n)] for j in range(objects)]
+
+    def test_targets_the_hottest_objects_servers(self):
+        servers = self.make_servers()
+        schedule = correlated_crash_schedule(
+            KeyDistribution.zipf(1.5),
+            servers,
+            2,
+            np.random.default_rng(3),
+            at=5.0,
+            width=0.5,
+        )
+        assert len(schedule) == 2
+        for event in schedule:
+            assert event.pid in servers[0]  # object 0 is the hottest
+            assert 5.0 <= event.time <= 5.5
+
+    def test_multiple_hot_objects(self):
+        servers = self.make_servers()
+        schedule = correlated_crash_schedule(
+            KeyDistribution.zipf(1.0),
+            servers,
+            1,
+            np.random.default_rng(3),
+            hot_objects=3,
+        )
+        victims = schedule.victims()
+        assert len(victims) == 3
+        owners = {pid.split("/")[0] for pid in victims}
+        assert owners == {"o0", "o1", "o2"}
+
+    def test_validation(self):
+        servers = self.make_servers()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="cannot be negative"):
+            correlated_crash_schedule(KeyDistribution.uniform(), servers, -1, rng)
+        with pytest.raises(ValueError, match="hot_objects"):
+            correlated_crash_schedule(
+                KeyDistribution.uniform(), servers, 1, rng, hot_objects=9
+            )
