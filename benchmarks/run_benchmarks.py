@@ -8,7 +8,10 @@ Two artefacts track the repository's performance trajectory:
 * ``BENCH_sim.json`` — discrete-event simulation throughput: the headline
   randomized SODA workload (events per wall-clock second), per-protocol
   rows for ABD/CAS/CASGC/SODA (``<proto>_events_per_s`` and the
-  deterministic ``<proto>_completion_ratio``), a sweep-engine throughput
+  deterministic ``<proto>_completion_ratio``), event-loop microbenchmark
+  rows (``eventloop_events_per_s`` / ``send_path_msgs_per_s`` /
+  ``eventloop_cancel_ops_per_s`` — see :mod:`bench_event_loop`, gated
+  tighter than the protocol rows), a sweep-engine throughput
   row (``sweep_points_per_s``), a streaming-checker throughput row
   (``stream_ops_per_s``, the incremental atomicity checker over a
   bounded-memory recorder), real-cluster longrun rows
@@ -50,6 +53,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+from bench_event_loop import bench_event_loop  # noqa: E402
 from bench_gf_kernels import bench_erasure  # noqa: E402
 
 from repro.analysis.experiments import storage_cost_vs_f  # noqa: E402
@@ -89,8 +93,21 @@ GATED_METRICS = {
         "decode_speedup_vs_seed",
         "encode_decode_speedup_vs_seed",
     ],
-    "sim": ["events_per_s", "completion_ratio"]
+    "sim": [
+        "events_per_s",
+        "completion_ratio",
+        "eventloop_events_per_s",
+        "send_path_msgs_per_s",
+    ]
     + [f"{proto.lower()}_completion_ratio" for proto in SIM_PROTOCOLS],
+}
+#: Per-metric regression factors overriding REGRESSION_FACTOR.  The
+#: event-loop microbenchmark rows isolate the simulation core from
+#: protocol logic and host-size effects, so they get a tighter gate: a
+#: quick run below 70% of the committed value (>30% regression) fails CI.
+GATED_METRIC_FACTORS = {
+    "eventloop_events_per_s": 1 / 0.7,
+    "send_path_msgs_per_s": 1 / 0.7,
 }
 #: Memory-gauge gates ("lower is better"): the resident-record ceilings of
 #: the streaming paths are deterministic functions of window + client
@@ -165,6 +182,12 @@ def bench_sim(*, quick: bool = False, seed: int = 7) -> Dict[str, object]:
     proto_ops = 4 if quick else 15
     for protocol in SIM_PROTOCOLS:
         results.update(_protocol_row(protocol, ops=proto_ops, seed=seed))
+
+    # Event-loop microbenchmark rows: pure timer churn, send/deliver
+    # churn and cancel-heavy churn (see bench_event_loop.py).  The first
+    # two carry a tighter CI gate (>30% regression fails) because they
+    # isolate the simulation core from protocol logic.
+    results.update(bench_event_loop(quick=quick))
 
     # Sweep-engine throughput: points of the E2 storage sweep per second
     # (in-process; multiprocess sharding is covered by the determinism
@@ -305,17 +328,18 @@ def check_regressions(
             if base is None or now is None:
                 failures.append(f"{benchmark}: metric {metric!r} missing")
                 continue
+            factor = GATED_METRIC_FACTORS.get(metric, REGRESSION_FACTOR)
             if lower_is_better:
-                bad = now > base * REGRESSION_FACTOR
+                bad = now > base * factor
                 verb = "grew"
                 suffix = " — the streaming path's resident-memory bound regressed"
             else:
-                bad = now * REGRESSION_FACTOR < base
+                bad = now * factor < base
                 verb = "regressed"
                 suffix = ""
             if bad:
                 failures.append(
-                    f"{benchmark}: {metric} {verb} >{REGRESSION_FACTOR}x "
+                    f"{benchmark}: {metric} {verb} >{factor:.2f}x "
                     f"(baseline {base:.2f}, current {now:.2f}){suffix}"
                 )
 

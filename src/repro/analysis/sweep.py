@@ -29,7 +29,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Tuple
 
 
 def derive_seed(base_seed: int, sweep_name: str, index: int) -> int:
@@ -100,26 +100,49 @@ def _run_point(payload: Tuple[Callable[..., Any], SweepPoint]) -> Tuple[int, Any
     return point.index, fn(**point.kwargs(), seed=point.seed)
 
 
-def run_sweep(spec: SweepSpec, *, jobs: int = 1) -> List[Any]:
-    """Execute every point of ``spec`` and return results in point order.
+def iter_sweep(spec: SweepSpec, *, jobs: int = 1) -> Iterator[Tuple[int, Any]]:
+    """Yield ``(index, result)`` pairs as points finish.
 
-    ``jobs=1`` runs in-process (no pool, no pickling); ``jobs>1`` shards
-    the points over a ``spawn`` multiprocessing pool — ``spawn`` rather
-    than ``fork`` so workers start from a clean interpreter on every
-    platform (no inherited RNG or simulation state).  ``pool.map``
-    preserves input order, so results are positionally aligned with
-    ``spec.grid`` regardless of which worker ran which point.
+    ``jobs=1`` runs in-process (no pool, no pickling) and yields in point
+    order; ``jobs>1`` shards the points over a ``spawn`` multiprocessing
+    pool — ``spawn`` rather than ``fork`` so workers start from a clean
+    interpreter on every platform (no inherited RNG or simulation state)
+    — and yields in *completion* order (``imap_unordered``), so consumers
+    can pipeline per-point post-processing against points still
+    simulating instead of barriering on the whole pool.  The index
+    identifies each result; order-sensitive consumers restore point order
+    with a buffered next-expected cursor (see
+    :func:`repro.analysis.longrun.run_longrun`) or simply collect into a
+    preallocated list (see :func:`run_sweep`).
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    return _iter_sweep(spec, jobs)
+
+
+def _iter_sweep(spec: SweepSpec, jobs: int) -> Iterator[Tuple[int, Any]]:
+    """Generator body of :func:`iter_sweep` (validation stays fail-fast
+    at the call site rather than deferring to first iteration)."""
     points = spec.points()
     if jobs == 1 or len(points) <= 1:
-        return [fn_result for _, fn_result in map(_run_point, ((spec.fn, p) for p in points))]
+        for point in points:
+            yield _run_point((spec.fn, point))
+        return
     payloads = [(spec.fn, p) for p in points]
     context = multiprocessing.get_context("spawn")
-    with context.Pool(processes=min(jobs, len(points))) as pool:
-        indexed = pool.map(_run_point, payloads)
-    # pool.map already preserves order; sort defensively on the returned
-    # indices so a future imap/unordered swap cannot silently reorder.
-    indexed.sort(key=lambda pair: pair[0])
-    return [result for _, result in indexed]
+    with context.Pool(processes=min(jobs, len(payloads))) as pool:
+        yield from pool.imap_unordered(_run_point, payloads)
+
+
+def run_sweep(spec: SweepSpec, *, jobs: int = 1) -> List[Any]:
+    """Execute every point of ``spec`` and return results in point order.
+
+    Thin collector over :func:`iter_sweep`: results arrive in completion
+    order and are slotted by index, so the returned list is positionally
+    aligned with ``spec.grid`` regardless of which worker ran which point
+    — a sweep's results stay byte-identical for any jobs count.
+    """
+    results: List[Any] = [None] * len(spec.grid)
+    for index, result in iter_sweep(spec, jobs=jobs):
+        results[index] = result
+    return results

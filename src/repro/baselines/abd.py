@@ -40,7 +40,7 @@ from repro.sim.process import Process
 # ----------------------------------------------------------------------
 # messages
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbdQueryRequest:
     """Phase-1 query (both reads and writes): ask for the stored tag.
 
@@ -52,7 +52,7 @@ class AbdQueryRequest:
     data_units: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbdQueryResponse:
     op_id: str
     tag: Tag
@@ -60,7 +60,7 @@ class AbdQueryResponse:
     data_units: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbdStoreRequest:
     """Phase-2 store (write) or write-back (read): replace older versions."""
 
@@ -70,7 +70,7 @@ class AbdStoreRequest:
     data_units: float = 1.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbdStoreAck:
     op_id: str
     tag: Tag
@@ -125,7 +125,7 @@ class AbdServer(Process):
 # ----------------------------------------------------------------------
 # clients
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class _AbdWrite:
     op_id: str
     value: bytes
@@ -204,7 +204,7 @@ class AbdWriter(Process):
             self.history.mark_failed(self._current.op_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class _AbdRead:
     op_id: str
     phase: str = "query"
@@ -303,6 +303,10 @@ class AbdCluster(RegisterCluster):
         # uniform cost accounting (each replica holds one "coded element" of
         # size 1).
         return ReplicationCode(self.n)
+
+    def _build_decoder(self):
+        # ABD reads return full replicated values; nothing ever decodes.
+        return None
 
     def _make_server(self, index: int, pid: str) -> AbdServer:
         return AbdServer(

@@ -33,7 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.consistency.history import READ, WRITE, History
 from repro.core.tags import TAG_ZERO, Tag, max_tag
-from repro.erasure.batch import CachedEncoder
+from repro.erasure.batch import CachedEncoder, ReadDecodeBatcher
 from repro.erasure.mds import CodedElement, MDSCode
 from repro.erasure.rs import ReedSolomonCode
 from repro.metrics.costs import StorageTracker
@@ -44,7 +44,7 @@ from repro.sim.process import Process
 # ----------------------------------------------------------------------
 # messages
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CasQueryRequest:
     """Ask a server for its highest *finalized* tag."""
 
@@ -52,14 +52,14 @@ class CasQueryRequest:
     data_units: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CasQueryResponse:
     op_id: str
     tag: Tag
     data_units: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CasPreWriteRequest:
     """Store one coded element under ``tag`` with the 'pre' label."""
 
@@ -69,14 +69,14 @@ class CasPreWriteRequest:
     data_units: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CasPreWriteAck:
     op_id: str
     tag: Tag
     data_units: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CasFinalizeRequest:
     """Mark ``tag`` as finalized.  ``reply_with_element`` is set by readers,
     which need the coded elements back to decode."""
@@ -87,7 +87,7 @@ class CasFinalizeRequest:
     data_units: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CasFinalizeAck:
     op_id: str
     tag: Tag
@@ -99,7 +99,7 @@ class CasFinalizeAck:
 # ----------------------------------------------------------------------
 # server
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class _StoredVersion:
     element: Optional[CodedElement]
     finalized: bool
@@ -217,7 +217,7 @@ class CasServer(Process):
 # ----------------------------------------------------------------------
 # clients
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class _CasWrite:
     op_id: str
     value: bytes
@@ -332,10 +332,10 @@ class CasWriter(Process):
             self.history.mark_failed(self._current.op_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class _CasRead:
     op_id: str
-    phase: str = "query"
+    phase: str = "query"  # "query" -> "collect" [-> "decode"] -> "done"
     query_responses: Dict[str, Tag] = field(default_factory=dict)
     tag: Optional[Tag] = None
     elements: Dict[int, CodedElement] = field(default_factory=dict)
@@ -354,12 +354,15 @@ class CasReader(Process):
         code: MDSCode,
         quorum_size: int,
         history: Optional[History] = None,
+        decode_batcher: Optional[ReadDecodeBatcher] = None,
     ) -> None:
         super().__init__(pid)
         self.servers = list(servers)
         self.code = code
         self.quorum = quorum_size
         self.history = history
+        #: Cluster-shared decode batcher; ``None`` decodes eagerly inline.
+        self.decode_batcher = decode_batcher
         self._current: Optional[_CasRead] = None
         self._op_counter = 0
         self.completed_reads: List[str] = []
@@ -412,15 +415,29 @@ class CasReader(Process):
                 op.elements[message.element.index] = message.element
             if len(op.elements) < self.code.k:
                 return
-            value = self.code.decode(list(op.elements.values()))
-            op.value = value
-            op.phase = "done"
-            self.completed_reads.append(op.op_id)
-            self._current = None
-            if self.history is not None:
-                self.history.respond(op.op_id, self.now, value=value, tag=op.tag)
-            if op.callback is not None:
-                op.callback(value, op.tag)
+            tag = op.tag
+            elements = list(op.elements.values())
+            batcher = self.decode_batcher
+            if batcher is None:
+                self._finish_read(op, tag, self.code.decode(elements))
+            else:
+                # Ready decodes are collected per event-loop drain and
+                # flushed through one memoized decode_many call at the
+                # same simulated time (see repro.erasure.batch).
+                op.phase = "decode"
+                batcher.submit(
+                    tag, elements, lambda value: self._finish_read(op, tag, value)
+                )
+
+    def _finish_read(self, op: _CasRead, tag: Tag, value: bytes) -> None:
+        op.value = value
+        op.phase = "done"
+        self.completed_reads.append(op.op_id)
+        self._current = None
+        if self.history is not None:
+            self.history.respond(op.op_id, self.now, value=value, tag=tag)
+        if op.callback is not None:
+            op.callback(value, tag)
 
     def on_crash(self) -> None:
         if self._current is not None and self.history is not None:
@@ -479,7 +496,12 @@ class CasCluster(RegisterCluster):
 
     def _make_reader(self, pid: str) -> CasReader:
         return CasReader(
-            pid, self.server_ids, self.code, self.quorum_size, history=self.history
+            pid,
+            self.server_ids,
+            self.code,
+            self.quorum_size,
+            history=self.history,
+            decode_batcher=self.decode_batcher,
         )
 
     # ------------------------------------------------------------------

@@ -29,7 +29,7 @@ WRITE = "write"
 READ = "read"
 
 
-@dataclass
+@dataclass(slots=True)
 class OperationRecord:
     """One client operation in an execution.
 

@@ -66,15 +66,19 @@ class MDSender:
         self._servers = list(servers_in_order)
         self._f = f
         self._counter = 0
+        # The dispersal topology is fixed at construction; precompute it
+        # instead of slicing the server list on every send.
+        self._dispersal = tuple(self._servers[: f + 1])
+        self._pid_str = str(process.pid)
 
     @property
     def dispersal_set(self) -> List[str]:
         """The first ``f + 1`` servers (the paper's set ``D``)."""
-        return self._servers[: self._f + 1]
+        return list(self._dispersal)
 
     def _next_mid(self) -> MessageId:
         self._counter += 1
-        return (str(self._process.pid), self._counter)
+        return (self._pid_str, self._counter)
 
     def md_value_send(self, tag: Tag, value: bytes, op_id: str) -> MessageId:
         """Disperse ``(tag, value)`` so every non-faulty server eventually
@@ -84,23 +88,25 @@ class MDSender:
             mid=mid,
             tag=tag,
             value=value,
-            origin=str(self._process.pid),
+            origin=self._pid_str,
             op_id=op_id,
             data_units=1.0,
         )
         # Sent in server order, as required by the protocol description.
-        for server in self.dispersal_set:
-            self._process.send(server, full)
+        send = self._process.send
+        for server in self._dispersal:
+            send(server, full)
         return mid
 
     def md_meta_send(self, payload: object, op_id: str) -> MessageId:
         """Disperse a metadata payload to every non-faulty server."""
         mid = self._next_mid()
         meta = MDMeta(
-            mid=mid, payload=payload, origin=str(self._process.pid), op_id=op_id
+            mid=mid, payload=payload, origin=self._pid_str, op_id=op_id
         )
-        for server in self.dispersal_set:
-            self._process.send(server, meta)
+        send = self._process.send
+        for server in self._dispersal:
+            send(server, meta)
         return mid
 
 
@@ -160,6 +166,30 @@ class MDServerEngine:
         self._value_delivered: Set[MessageId] = set()
         self._value_forwarded: Set[MessageId] = set()
         self._meta_delivered: Set[MessageId] = set()
+        # The relay topology is fixed at construction: the dispersal set,
+        # this server's forward targets within it, and the (index, pid)
+        # pairs outside it.  Precomputing replaces the per-message slices,
+        # `.index()` and membership scans the handlers used to perform.
+        dispersal = self._servers[: f + 1]
+        self._dispersal = dispersal
+        pid = server.pid
+        self._in_dispersal = pid in dispersal
+        if self._in_dispersal:
+            my_pos = dispersal.index(pid)
+            self._forward_targets = tuple(dispersal[my_pos + 1 :])
+        else:
+            self._forward_targets = ()
+        dispersal_set = set(dispersal)
+        self._outside_dispersal = tuple(
+            (idx, s) for idx, s in enumerate(self._servers) if s not in dispersal_set
+        )
+        # Exact message types are final; dict dispatch on type() replaces
+        # the isinstance chain the per-message handle() used to walk.
+        self._handlers = {
+            MDValueFull: self._handle_full,
+            MDValueCoded: self._handle_coded,
+            MDMeta: self._handle_meta,
+        }
 
     # ------------------------------------------------------------------
     # dispatch
@@ -170,41 +200,41 @@ class MDServerEngine:
         Returns True if the message was consumed, False otherwise (so the
         server can dispatch it to its own protocol handlers).
         """
-        if isinstance(message, MDValueFull):
-            self._handle_full(message)
-            return True
-        if isinstance(message, MDValueCoded):
-            self._handle_coded(message)
-            return True
-        if isinstance(message, MDMeta):
-            self._handle_meta(message)
-            return True
-        return False
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            return False
+        handler(message)
+        return True
+
+    def handler_map(self) -> dict:
+        """``message type -> unary handler`` mapping for dict dispatch.
+
+        Servers merge this into their own dispatch table so one dict
+        lookup replaces the isinstance chain on the per-message hot path.
+        """
+        return dict(self._handlers)
 
     # ------------------------------------------------------------------
     # MD-VALUE
     # ------------------------------------------------------------------
     def _dispersal_set(self) -> List[str]:
-        return self._servers[: self._f + 1]
+        return list(self._dispersal)
 
     def _handle_full(self, message: MDValueFull) -> None:
         if message.mid in self._value_forwarded or message.mid in self._value_delivered:
             return
         self._value_forwarded.add(message.mid)
-        dispersal = self._dispersal_set()
         if self._encoder is not None:
             elements = self._encoder.encode(message.value)
         else:
             elements = self._code.encode(message.value)
         # Forward the full message to the later servers of the dispersal set.
-        if self._server.pid in dispersal:
-            my_pos = dispersal.index(self._server.pid)
-            for server in dispersal[my_pos + 1 :]:
-                self._server.send(server, message)
+        if self._in_dispersal:
+            send = self._server.send
+            for server in self._forward_targets:
+                send(server, message)
             # Send coded elements to every server outside the dispersal set.
-            for idx, server in enumerate(self._servers):
-                if server in dispersal:
-                    continue
+            for idx, server in self._outside_dispersal:
                 coded = MDValueCoded(
                     mid=message.mid,
                     tag=message.tag,
@@ -213,7 +243,7 @@ class MDServerEngine:
                     op_id=message.op_id,
                     data_units=self._code.element_data_units,
                 )
-                self._server.send(server, coded)
+                send(server, coded)
         # Deliver the local coded element.
         self._deliver_value(message.mid, message.tag, elements[self._index], message)
 
@@ -235,14 +265,12 @@ class MDServerEngine:
         if message.mid in self._meta_delivered:
             return
         self._meta_delivered.add(message.mid)
-        dispersal = self._dispersal_set()
-        if self._server.pid in dispersal:
-            my_pos = dispersal.index(self._server.pid)
-            for server in dispersal[my_pos + 1 :]:
-                self._server.send(server, message)
-            for server in self._servers:
-                if server not in dispersal:
-                    self._server.send(server, message)
+        if self._in_dispersal:
+            send = self._server.send
+            for server in self._forward_targets:
+                send(server, message)
+            for _, server in self._outside_dispersal:
+                send(server, message)
         self._on_meta_deliver(message.payload, message.origin, message.op_id)
 
     # ------------------------------------------------------------------

@@ -27,7 +27,7 @@ MessageId = Tuple[str, int]
 # ----------------------------------------------------------------------
 # client <-> server query phases (metadata only)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteGetRequest:
     """write-get phase: the writer asks a server for its local tag."""
 
@@ -35,7 +35,7 @@ class WriteGetRequest:
     data_units: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteGetResponse:
     """A server's reply to :class:`WriteGetRequest` with its stored tag."""
 
@@ -44,7 +44,7 @@ class WriteGetResponse:
     data_units: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadGetRequest:
     """read-get phase: the reader asks a server for its local tag."""
 
@@ -52,7 +52,7 @@ class ReadGetRequest:
     data_units: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadGetResponse:
     """A server's reply to :class:`ReadGetRequest` with its stored tag."""
 
@@ -61,7 +61,7 @@ class ReadGetResponse:
     data_units: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteAck:
     """Acknowledgement a server sends to the writer after the corresponding
     coded element has been delivered to it by MD-VALUE (Fig. 5, response 3)."""
@@ -72,7 +72,7 @@ class WriteAck:
     data_units: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadValueResponse:
     """A coded element relayed from a server to a registered reader.
 
@@ -91,7 +91,7 @@ class ReadValueResponse:
 # ----------------------------------------------------------------------
 # MD-VALUE primitive (Section III-A)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MDValueFull:
     """The ``"full"`` message: carries the whole value to the first f+1 servers."""
 
@@ -103,7 +103,7 @@ class MDValueFull:
     data_units: float = 1.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MDValueCoded:
     """The ``"coded"`` message: carries one coded element to one server."""
 
@@ -118,7 +118,7 @@ class MDValueCoded:
 # ----------------------------------------------------------------------
 # MD-META primitive payloads (Section III-B)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadValuePayload:
     """READ-VALUE: register reader ``read_id`` (process ``reader_pid``) for
     tags greater than or equal to ``tag``."""
@@ -128,7 +128,7 @@ class ReadValuePayload:
     tag: Tag
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadCompletePayload:
     """READ-COMPLETE: the read ``read_id`` finished; unregister it."""
 
@@ -137,7 +137,7 @@ class ReadCompletePayload:
     tag: Tag
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadDispersePayload:
     """READ-DISPERSE: server ``server_index`` sent the coded element of
     ``tag`` to reader ``read_id`` (server-to-server bookkeeping)."""
@@ -147,7 +147,7 @@ class ReadDispersePayload:
     read_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MDMeta:
     """Envelope for a metadata payload dispersed via MD-META."""
 

@@ -79,6 +79,7 @@ class SodaCluster(RegisterCluster):
             code=self.code,
             history=self.history,
             decode_threshold=self._decode_threshold(),
+            decode_batcher=self.decode_batcher,
         )
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.consistency.history import READ, History
 from repro.core.message_disperse import MDSender
+from repro.erasure.batch import ReadDecodeBatcher
 from repro.core.messages import (
     ReadCompletePayload,
     ReadGetRequest,
@@ -37,12 +38,12 @@ from repro.erasure.mds import CodedElement, MDSCode
 from repro.sim.process import Process
 
 
-@dataclass
+@dataclass(slots=True)
 class _ReadOperation:
     """In-flight state of one read operation."""
 
     op_id: str
-    phase: str = "get"  # "get" -> "value" -> "done"
+    phase: str = "get"  # "get" -> "value" [-> "decode"] -> "done"
     get_responses: Dict[str, Tag] = field(default_factory=dict)
     target_tag: Optional[Tag] = None
     # tag -> {server index -> coded element}
@@ -64,6 +65,7 @@ class SodaReader(Process):
         history: Optional[History] = None,
         *,
         decode_threshold: Optional[int] = None,
+        decode_batcher: Optional[ReadDecodeBatcher] = None,
     ) -> None:
         super().__init__(pid)
         self.servers = list(servers_in_order)
@@ -74,6 +76,11 @@ class SodaReader(Process):
         #: Number of distinct coded elements (for one tag) needed to decode:
         #: ``k`` for SODA, ``k + 2e`` for SODAerr.
         self.decode_threshold = decode_threshold if decode_threshold is not None else code.k
+        #: Cluster-shared decode batcher; ``None`` decodes eagerly inline
+        #: (standalone readers in unit tests).  When set, ready decodes are
+        #: collected per event-loop drain, memoized and batched through
+        #: ``decode_many`` — see :mod:`repro.erasure.batch`.
+        self.decode_batcher = decode_batcher
         self._md_sender: Optional[MDSender] = None
         self._current: Optional[_ReadOperation] = None
         self._op_counter = 0
@@ -161,9 +168,25 @@ class SodaReader(Process):
         per_tag[message.element.index] = message.element
         if len(per_tag) < self.decode_threshold:
             return
-        value = self._decode(list(per_tag.values()))
+        tag = message.tag
+        elements = list(per_tag.values())
+        batcher = self.decode_batcher
+        if batcher is None:
+            self._finish_read(op, tag, self._decode(elements))
+        else:
+            # Park the operation until the end of the current event-loop
+            # drain; the batcher decodes every ready read in one
+            # (memoized) decode_many call and resumes _finish_read at the
+            # same simulated time, preserving the execution byte-for-byte.
+            op.phase = "decode"
+            batcher.submit(
+                tag, elements, lambda value: self._finish_read(op, tag, value)
+            )
+
+    def _finish_read(self, op: _ReadOperation, tag: Tag, value: bytes) -> None:
+        """Complete ``op`` with the decoded ``value`` (phases read-complete)."""
         op.value = value
-        op.decoded_tag = message.tag
+        op.decoded_tag = tag
         op.phase = "done"
         assert self._md_sender is not None
         self._md_sender.md_meta_send(
@@ -175,9 +198,9 @@ class SodaReader(Process):
         self.completed_reads.append(op.op_id)
         self._current = None
         if self.history is not None:
-            self.history.respond(op.op_id, self.now, value=value, tag=message.tag)
+            self.history.respond(op.op_id, self.now, value=value, tag=tag)
         if op.callback is not None:
-            op.callback(value, message.tag)
+            op.callback(value, tag)
 
     # ------------------------------------------------------------------
     def on_crash(self) -> None:

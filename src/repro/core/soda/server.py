@@ -41,7 +41,7 @@ from repro.sim.failures import DiskErrorModel
 from repro.sim.process import Process
 
 
-@dataclass
+@dataclass(slots=True)
 class RegisteredReader:
     """One entry of the ``Rc`` set."""
 
@@ -143,6 +143,13 @@ class SodaServer(Process):
             on_meta_deliver=self._on_md_meta_deliver,
             encoder=encoder,
         )
+        self._md_handlers = self._md_engine.handler_map()
+        # Metadata payload dispatch for _on_md_meta_deliver, same scheme.
+        self._meta_handlers = {
+            ReadValuePayload: self._on_read_value,
+            ReadCompletePayload: self._on_read_complete,
+            ReadDispersePayload: self._on_read_disperse,
+        }
         self._md_sender: Optional[MDSender] = None
         # Counters exposed for tests and experiments.
         self.elements_relayed_to_readers = 0
@@ -179,11 +186,17 @@ class SodaServer(Process):
     # message dispatch
     # ------------------------------------------------------------------
     def on_message(self, sender: str, message: object) -> None:
-        if self._md_engine.handle(sender, message):
+        # Dict dispatch on the exact message type (message classes are
+        # final): one lookup replaces the isinstance chain plus the
+        # md-engine handle() indirection on the per-message hot path.
+        handler = self._md_handlers.get(type(message))
+        if handler is not None:
+            handler(message)
             return
-        if isinstance(message, WriteGetRequest):
+        mtype = type(message)
+        if mtype is WriteGetRequest:
             self.send(sender, WriteGetResponse(op_id=message.op_id, tag=self.tag))
-        elif isinstance(message, ReadGetRequest):
+        elif mtype is ReadGetRequest:
             self.send(sender, ReadGetResponse(op_id=message.op_id, tag=self.tag))
         # Any other message type is not for a SODA server; ignore silently
         # (the simulator never produces such messages in practice).
@@ -216,12 +229,9 @@ class SodaServer(Process):
     # MD-META deliveries (Fig. 5, responses 4-6)
     # ------------------------------------------------------------------
     def _on_md_meta_deliver(self, payload: object, origin: str, op_id: str) -> None:
-        if isinstance(payload, ReadValuePayload):
-            self._on_read_value(payload)
-        elif isinstance(payload, ReadCompletePayload):
-            self._on_read_complete(payload)
-        elif isinstance(payload, ReadDispersePayload):
-            self._on_read_disperse(payload)
+        handler = self._meta_handlers.get(type(payload))
+        if handler is not None:
+            handler(payload)
 
     def _on_read_value(self, payload: ReadValuePayload) -> None:
         if payload.read_id in self.completed_reads:

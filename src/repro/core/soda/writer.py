@@ -25,7 +25,7 @@ from repro.erasure.mds import MDSCode
 from repro.sim.process import Process
 
 
-@dataclass
+@dataclass(slots=True)
 class _WriteOperation:
     """In-flight state of one write operation."""
 

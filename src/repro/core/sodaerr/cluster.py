@@ -13,6 +13,7 @@ from typing import Iterable, Optional
 
 from repro.core.soda.cluster import SodaCluster
 from repro.core.sodaerr.reader import SodaErrReader
+from repro.erasure.batch import CachedDecoder
 from repro.erasure.mds import MDSCode
 from repro.erasure.rs import ReedSolomonCode
 from repro.sim.failures import DiskErrorModel
@@ -97,6 +98,13 @@ class SodaErrCluster(SodaCluster):
     def _decode_threshold(self) -> int:
         return self.code.k + 2 * self.e
 
+    def _build_decoder(self) -> CachedDecoder:
+        # Memoize the errors-and-erasures decode per (tag, element-set):
+        # Phi^-1_err is the most expensive per-read operation in the
+        # repository, and concurrent reads of one version repeat it with
+        # byte-identical inputs (the ROADMAP's "SODAerr decode gap").
+        return CachedDecoder(self.code, max_errors=self.e)
+
     def _make_reader(self, pid: str) -> SodaErrReader:
         return SodaErrReader(
             pid=pid,
@@ -105,6 +113,7 @@ class SodaErrCluster(SodaCluster):
             code=self.code,
             e=self.e,
             history=self.history,
+            decode_batcher=self.decode_batcher,
         )
 
     # ------------------------------------------------------------------

@@ -11,6 +11,7 @@ from typing import List, Optional, Sequence
 
 from repro.consistency.history import History
 from repro.core.soda.reader import SodaReader
+from repro.erasure.batch import ReadDecodeBatcher
 from repro.erasure.mds import CodedElement, MDSCode
 
 
@@ -25,6 +26,7 @@ class SodaErrReader(SodaReader):
         code: MDSCode,
         e: int,
         history: Optional[History] = None,
+        decode_batcher: Optional[ReadDecodeBatcher] = None,
     ) -> None:
         if e < 0:
             raise ValueError("e must be non-negative")
@@ -35,6 +37,7 @@ class SodaErrReader(SodaReader):
             code,
             history,
             decode_threshold=code.k + 2 * e,
+            decode_batcher=decode_batcher,
         )
         self.e = e
 

@@ -17,7 +17,7 @@ from functools import total_ordering
 
 
 @total_ordering
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Tag:
     """A version identifier ``(z, writer_id)``."""
 

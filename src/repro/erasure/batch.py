@@ -1,15 +1,29 @@
-"""Batched / memoized encoding front-end shared by a cluster's servers.
+"""Batched / memoized codec front-ends shared by a cluster's processes.
 
-In the MD-VALUE dispersal primitive every server of the dispersal set (the
-first ``f + 1`` servers) encodes the *same* value to derive the coded
-elements it forwards — ``f + 1`` identical encodes per write.  A
-:class:`CachedEncoder` shared across the cluster collapses those into one,
-and its :meth:`warm` method lets workload drivers pre-encode a whole batch
-of values with a single wide GF(2^8) matmul
+Encoding: in the MD-VALUE dispersal primitive every server of the
+dispersal set (the first ``f + 1`` servers) encodes the *same* value to
+derive the coded elements it forwards — ``f + 1`` identical encodes per
+write.  A :class:`CachedEncoder` shared across the cluster collapses those
+into one, and its :meth:`CachedEncoder.warm` method lets workload drivers
+pre-encode a whole batch of values with a single wide GF(2^8) matmul
 (:meth:`~repro.erasure.mds.MDSCode.encode_many`) before the simulation
 starts, so the in-simulation hot path is pure cache hits.
 
-The cache is LRU-bounded: scenario sweeps reuse a small working set of
+Decoding: concurrent reads of the same version decode the same
+``(tag, element-set)`` over and over — every read between two writes
+reconstructs an identical value.  A :class:`CachedDecoder` shared by a
+cluster's readers memoizes those reconstructions (including SODAerr's
+far more expensive errors-and-erasures decode), and a
+:class:`ReadDecodeBatcher` collects the decodes that become ready within
+one event-loop drain and pushes the cache misses through
+:meth:`~repro.erasure.mds.MDSCode.decode_many` in a single call.  The
+batcher flushes through the simulation's deferred micro-task hook
+(:meth:`repro.sim.simulation.Simulation.defer`), which runs at the same
+simulated time as the triggering event and never perturbs the
+``(time, seq)`` event order — executions are event-for-event identical to
+eager decoding.
+
+Both caches are LRU-bounded: scenario sweeps reuse a small working set of
 values, while long randomized workloads with unique values stay within a
 predictable memory budget.
 """
@@ -17,12 +31,15 @@ predictable memory budget.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, List
+from typing import Callable, Iterable, List, Sequence, Tuple
 
 from repro.erasure.mds import CodedElement, MDSCode
 
 #: Default bound on memoized values per encoder.
 DEFAULT_ENCODER_CAPACITY = 1024
+
+#: Default bound on memoized reconstructions per decoder.
+DEFAULT_DECODER_CAPACITY = 1024
 
 
 class CachedEncoder:
@@ -76,3 +93,163 @@ class CachedEncoder:
 
     def __contains__(self, value: bytes) -> bool:
         return value in self._cache
+
+
+# ----------------------------------------------------------------------
+# read-side decode cache + per-drain batcher
+# ----------------------------------------------------------------------
+#: A decode job: the protocol tag being reconstructed plus the coded
+#: elements collected for it.
+DecodeJob = Tuple[object, Sequence[CodedElement]]
+
+
+class CachedDecoder:
+    """Memoizing ``decode`` wrapper around an :class:`MDSCode`.
+
+    Keys are ``(tag, element fingerprint)`` where the fingerprint is the
+    sorted ``(index, data)`` pairs of the supplied elements — two reads
+    hit the same entry only when they reconstruct from byte-identical
+    inputs, so a cache hit is always the exact value an eager decode
+    would have produced (including the duplicate-conflict validation:
+    conflicting element sets have distinct fingerprints and miss).
+
+    ``max_errors > 0`` switches the decode primitive to the
+    errors-and-erasures decoder (SODAerr's ``Phi^-1_err``), which is the
+    single most expensive per-read operation in the repository — its
+    memoization is what closes the SODAerr/SODA long-run throughput gap.
+    """
+
+    def __init__(
+        self,
+        code: MDSCode,
+        capacity: int = DEFAULT_DECODER_CAPACITY,
+        *,
+        max_errors: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("decoder capacity must be at least 1")
+        if max_errors < 0:
+            raise ValueError("max_errors must be non-negative")
+        self.code = code
+        self.capacity = capacity
+        self.max_errors = max_errors
+        self._cache: "OrderedDict[tuple, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(tag: object, elements: Sequence[CodedElement]) -> tuple:
+        return (tag, tuple(sorted((el.index, el.data) for el in elements)))
+
+    def _decode_one(self, elements: Sequence[CodedElement]) -> bytes:
+        if self.max_errors:
+            return self.code.decode_with_errors(elements, max_errors=self.max_errors)
+        return self.code.decode(elements)
+
+    def decode(self, tag: object, elements: Sequence[CodedElement]) -> bytes:
+        """Reconstruct ``tag``'s value, serving repeats from the cache."""
+        key = self._key(tag, elements)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self.misses += 1
+        value = self._decode_one(elements)
+        self._insert(key, value)
+        return value
+
+    def decode_many(self, jobs: Sequence[DecodeJob]) -> List[bytes]:
+        """Decode a batch of jobs; cache misses go through the code's
+        batched :meth:`~repro.erasure.mds.MDSCode.decode_many` in one call
+        (the errors-and-erasures decoder has no batched kernel; its jobs
+        are decoded per-set but still memoized)."""
+        values: List[bytes] = [b""] * len(jobs)
+        miss_slots: List[Tuple[int, tuple]] = []
+        miss_sets: List[Sequence[CodedElement]] = []
+        for i, (tag, elements) in enumerate(jobs):
+            key = self._key(tag, elements)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._cache.move_to_end(key)
+                values[i] = cached
+            else:
+                miss_slots.append((i, key))
+                miss_sets.append(elements)
+        if miss_sets:
+            self.misses += len(miss_sets)
+            if self.max_errors:
+                decoded = [self._decode_one(elements) for elements in miss_sets]
+            else:
+                decoded = self.code.decode_many(miss_sets)
+            for (i, key), value in zip(miss_slots, decoded):
+                values[i] = value
+                self._insert(key, value)
+        return values
+
+    def _insert(self, key: tuple, value: bytes) -> None:
+        self._cache[key] = value
+        if len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class ReadDecodeBatcher:
+    """Collects read decodes becoming ready in one event-loop drain.
+
+    Readers submit ``(tag, elements, continuation)`` instead of decoding
+    inline; the batcher arms one deferred micro-task per drain and flushes
+    every submission through a single :meth:`CachedDecoder.decode_many`
+    call, then runs the continuations in submission order.  Because the
+    flush executes at the same simulated time as the triggering event and
+    before the next event is popped, the observable execution — message
+    order, RNG stream, history timestamps — is identical to eager
+    decoding; only the decode work itself is batched and memoized.
+
+    Today one delivery event completes at most one read, so a drain's
+    batch is typically a single job and the throughput win comes from the
+    memoization; the per-drain collection point is what lets any future
+    multi-completion event (or a fused multi-object drain) widen the
+    ``decode_many`` batch without touching the readers again.
+    """
+
+    def __init__(
+        self,
+        decoder: CachedDecoder,
+        defer: Callable[[Callable[[], None]], None],
+    ) -> None:
+        self.decoder = decoder
+        self._defer = defer
+        self._pending: List[Tuple[object, Sequence[CodedElement], Callable[[bytes], None]]] = []
+        self._armed = False
+        #: Flush/batch counters (benchmarks and tests read these).
+        self.flushes = 0
+        self.submitted = 0
+
+    def submit(
+        self,
+        tag: object,
+        elements: Sequence[CodedElement],
+        continuation: Callable[[bytes], None],
+    ) -> None:
+        """Queue one decode; ``continuation(value)`` runs at flush time."""
+        self._pending.append((tag, elements, continuation))
+        self.submitted += 1
+        if not self._armed:
+            self._armed = True
+            self._defer(self._flush)
+
+    def _flush(self) -> None:
+        self._armed = False
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        self.flushes += 1
+        values = self.decoder.decode_many(
+            [(tag, elements) for tag, elements, _ in pending]
+        )
+        for (_, _, continuation), value in zip(pending, values):
+            continuation(value)

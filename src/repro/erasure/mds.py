@@ -29,7 +29,7 @@ class DecodingError(ValueError):
     """Raised when a value cannot be reconstructed from the given elements."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CodedElement:
     """A single coded element: the ``index``-th symbol of the codeword.
 

@@ -31,7 +31,11 @@ class CommunicationCostTracker:
         self.unattributed_data_units = 0.0
 
     def attach(self, network: Network) -> "CommunicationCostTracker":
-        network.on_send(self.record)
+        # The first tracker per network is accounted inline on the send
+        # fast path (no per-message listener call); later trackers fall
+        # back to the listener interface.  Aggregates are identical.
+        if not network.attach_cost_tracker(self):
+            network.on_send(self.record)
         return self
 
     def record(self, record: MessageRecord) -> None:

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.consistency.history import History, OperationRecord
 from repro.consistency.stream import HistorySink, StreamObserver
-from repro.erasure.batch import CachedEncoder
+from repro.erasure.batch import CachedDecoder, CachedEncoder, ReadDecodeBatcher
 from repro.erasure.mds import CodedElement, MDSCode
 from repro.metrics.costs import CommunicationCostTracker, StorageTracker
 from repro.metrics.latency import LatencyTracker
@@ -152,6 +152,16 @@ class RegisterCluster(ABC):
         # same value for the same write, and workload drivers can pre-encode
         # whole batches through it (see warm_encode).
         self.encoder = CachedEncoder(self.code)
+        # Cluster-shared memoizing decoder + per-drain batcher: readers of
+        # erasure-coded protocols submit ready decodes here instead of
+        # decoding inline; concurrent reads of one version become cache
+        # hits and misses go through decode_many in one call per drain.
+        self.decoder = self._build_decoder()
+        self.decode_batcher = (
+            ReadDecodeBatcher(self.decoder, self.sim.defer)
+            if self.decoder is not None
+            else None
+        )
         self.initial_elements: List[CodedElement] = self.encoder.encode(initial_value)
 
         self.server_ids = [f"{namespace}s{i}" for i in range(n)]
@@ -187,6 +197,16 @@ class RegisterCluster(ABC):
     @abstractmethod
     def _build_code(self) -> MDSCode:
         """The erasure code the protocol stores data with."""
+
+    def _build_decoder(self) -> Optional[CachedDecoder]:
+        """The memoizing decoder shared by this cluster's readers.
+
+        ``None`` disables read-side decode batching (protocols whose reads
+        never invoke the code's decoder, e.g. ABD's full-value
+        replication, override this).  SODAerr overrides it to memoize the
+        errors-and-erasures decode per (tag, element-set).
+        """
+        return CachedDecoder(self.code)
 
     @abstractmethod
     def _make_server(self, index: int, pid: str) -> Process:

@@ -17,13 +17,21 @@ two optional attributes off each message:
   ``1/k`` for a coded element, 0.0 for metadata), per Section II-h;
 * ``op_id`` — the client operation on whose behalf the message is sent,
   used to attribute communication cost to individual operations.
+
+Delay sampling is batched: models whose delays do not depend on the
+``(src, dst)`` pair implement :meth:`DelayModel.sample_block`, and the
+network refills a vectorized buffer from it instead of paying one scalar
+``np.random.Generator`` call per message.  Block sampling consumes the
+generator stream *element-for-element identically* to successive scalar
+``sample`` calls (NumPy fills arrays by repeating the scalar routine), so
+executions — and the committed long-run artefacts — are byte-identical to
+the unbatched implementation; the golden-trace tests pin this down.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from functools import partial
 from typing import TYPE_CHECKING, Callable, Hashable, Iterable, List, Optional
 
 import numpy as np
@@ -33,16 +41,36 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 
 ProcessId = Hashable
 
+#: Number of delays drawn per vectorized refill of the network's buffer.
+DELAY_BLOCK_SIZE = 256
+
 
 # ----------------------------------------------------------------------
 # delay models
 # ----------------------------------------------------------------------
 class DelayModel(ABC):
-    """Samples a one-way message delay for each (src, dst) pair."""
+    """Samples a one-way message delay for each (src, dst) pair.
+
+    Parameter validation happens at construction time; :meth:`sample` is a
+    per-message hot path and does not re-validate (the network asserts
+    non-negativity only in debug builds).
+    """
 
     @abstractmethod
     def sample(self, src: ProcessId, dst: ProcessId, rng: np.random.Generator) -> float:
         """A non-negative delay for one message from ``src`` to ``dst``."""
+
+    def sample_block(self, n: int, rng: np.random.Generator) -> Optional[List[float]]:
+        """A block of ``n`` delays drawn with one vectorized call.
+
+        Returns ``None`` (the default) when the model's delays depend on
+        the ``(src, dst)`` pair — e.g. :class:`SlowDisk` — in which case
+        the network falls back to per-message :meth:`sample` calls.
+        Implementations must consume the generator stream exactly as ``n``
+        successive :meth:`sample` calls would, so batched and unbatched
+        executions are event-for-event identical.
+        """
+        return None
 
     def max_delay(self) -> Optional[float]:
         """An upper bound on delays if one exists (``None`` = unbounded).
@@ -65,6 +93,10 @@ class FixedDelay(DelayModel):
     def sample(self, src: ProcessId, dst: ProcessId, rng: np.random.Generator) -> float:
         return self.delta
 
+    def sample_block(self, n: int, rng: np.random.Generator) -> List[float]:
+        # Consumes no randomness, exactly like n scalar sample() calls.
+        return [self.delta] * n
+
     def max_delay(self) -> float:
         return self.delta
 
@@ -80,6 +112,9 @@ class UniformDelay(DelayModel):
 
     def sample(self, src: ProcessId, dst: ProcessId, rng: np.random.Generator) -> float:
         return float(rng.uniform(self.low, self.high))
+
+    def sample_block(self, n: int, rng: np.random.Generator) -> List[float]:
+        return rng.uniform(self.low, self.high, size=n).tolist()
 
     def max_delay(self) -> float:
         return self.high
@@ -110,6 +145,12 @@ class ExponentialDelay(DelayModel):
             delay = min(delay, self.cap)
         return delay
 
+    def sample_block(self, n: int, rng: np.random.Generator) -> List[float]:
+        block = self.base + rng.exponential(self.mean, size=n)
+        if self.cap is not None:
+            np.minimum(block, self.cap, out=block)
+        return block.tolist()
+
     def max_delay(self) -> Optional[float]:
         return self.cap
 
@@ -123,6 +164,10 @@ class SlowDisk(DelayModel):
     units (plus optional uniform ``jitter``) on top of the wrapped base
     delay model.  Wrapping the delay model keeps the hook protocol-agnostic:
     any cluster accepts it through its ``delay_model`` parameter.
+
+    Delays depend on the sender, so this model opts out of block sampling
+    (``sample_block`` stays ``None``-returning) and the network samples
+    per message.
     """
 
     def __init__(
@@ -158,7 +203,7 @@ class SlowDisk(DelayModel):
 # ----------------------------------------------------------------------
 # message bookkeeping
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class MessageRecord:
     """One message in flight (or already delivered), for tracing and costs."""
 
@@ -213,6 +258,20 @@ class Network:
         self.trace: List[MessageRecord] = []
         self._send_listeners: List[Callable[[MessageRecord], None]] = []
         self._deliver_listeners: List[Callable[[MessageRecord], None]] = []
+        # The first communication-cost tracker attaches here and is
+        # accounted inline by send() — one attribute walk instead of a
+        # listener call plus two property evaluations per message.  Extra
+        # trackers fall back to the generic listener path.
+        self._cost_tracker = None
+        # Vectorized delay buffer: refilled DELAY_BLOCK_SIZE samples at a
+        # time from the delay model when it supports block sampling.  The
+        # buffer is tied to the model *instance* that filled it, so
+        # swapping ``delay_model`` mid-run falls back to a refill from the
+        # new model.
+        self._delay_buffer: List[float] = []
+        self._delay_pos = 0
+        self._buffered_model: Optional[DelayModel] = None
+        self._block_capable = False
 
     # -- listener registration -----------------------------------------
     def on_send(self, listener: Callable[[MessageRecord], None]) -> None:
@@ -223,6 +282,18 @@ class Network:
         """Register a callback invoked whenever a message is handed to a process."""
         self._deliver_listeners.append(listener)
 
+    def attach_cost_tracker(self, tracker) -> bool:
+        """Claim the inline cost-accounting slot; False if already taken.
+
+        Called by :meth:`repro.metrics.costs.CommunicationCostTracker.attach`;
+        the first tracker per network is updated inline on the send fast
+        path, later ones register as ordinary send listeners.
+        """
+        if self._cost_tracker is None:
+            self._cost_tracker = tracker
+            return True
+        return False
+
     # -- sending ---------------------------------------------------------
     def send(self, src: ProcessId, dst: ProcessId, payload: object) -> MessageRecord:
         """Place ``payload`` on the channel from ``src`` to ``dst``.
@@ -231,11 +302,24 @@ class Network:
         unless the destination is (or becomes) crashed.  The sender may
         crash immediately afterwards without affecting delivery, matching
         the paper's channel model.
+
+        This is the per-message fast path: stats are updated inline, the
+        delivery label is built only when the trace is kept, listener
+        dispatch is skipped when nothing is registered, delays come from
+        the vectorized buffer when the model supports it, and the delivery
+        is scheduled through :meth:`Simulation.schedule_call` (the record
+        rides on the event — no per-send ``functools.partial``).
         """
-        record = MessageRecord(
-            src=src, dst=dst, payload=payload, sent_at=self._sim.now
-        )
-        self.stats.record_send(record)
+        sim = self._sim
+        record = MessageRecord(src, dst, payload, sim._now)
+        # Inlined NetworkStats.record_send: one attribute walk per send
+        # instead of a method call plus two property evaluations.
+        stats = self.stats
+        stats.messages_sent += 1
+        units = float(getattr(payload, "data_units", 0.0))
+        stats.total_data_units += units
+        if units == 0.0:
+            stats.metadata_messages += 1
         # Human-readable delivery labels are a tracing aid; building the
         # f-string on every send is measurable overhead in long benchmark
         # runs, so it is skipped unless the message trace is kept.
@@ -244,23 +328,67 @@ class Network:
             label = f"deliver {type(payload).__name__} {src}->{dst}"
         else:
             label = ""
-        for listener in self._send_listeners:
-            listener(record)
-        delay = self.delay_model.sample(src, dst, self._sim.rng)
-        if delay < 0:
-            raise ValueError(f"delay model produced a negative delay {delay}")
-        self._sim.schedule(delay, partial(self._deliver, record), label=label)
+        tracker = self._cost_tracker
+        if tracker is not None:
+            # Inlined CommunicationCostTracker.record (same aggregates).
+            tracker.total_data_units += units
+            op = getattr(payload, "op_id", None)
+            if op is None:
+                tracker.unattributed_data_units += units
+            else:
+                tracker._per_op[op] += units
+                tracker._messages_per_op[op] += 1
+        if self._send_listeners:
+            for listener in self._send_listeners:
+                listener(record)
+        pos = self._delay_pos
+        if pos < len(self._delay_buffer) and self._buffered_model is self.delay_model:
+            delay = self._delay_buffer[pos]
+            self._delay_pos = pos + 1
+        else:
+            delay = self._next_delay(src, dst)
+        # Non-negativity is a delay-model construction invariant; the old
+        # per-send ``delay < 0`` raise is now a debug-mode assert.
+        assert delay >= 0, f"delay model produced a negative delay {delay}"
+        # Push the delivery straight onto the event queue (one frame less
+        # than Simulation.schedule_call; same (time, seq) semantics).
+        sim._queue.push(sim._now + delay, self._deliver, label, record)
         return record
+
+    def _next_delay(self, src: ProcessId, dst: ProcessId) -> float:
+        """Refill the vectorized delay buffer (or sample one scalar delay).
+
+        Models whose delays depend on (src, dst) return ``None`` from
+        ``sample_block`` once; after that every send takes the scalar path
+        until the delay model is swapped.
+        """
+        model = self.delay_model
+        if model is not self._buffered_model:
+            self._buffered_model = model
+            self._delay_buffer = []
+            self._delay_pos = 0
+            self._block_capable = True
+        if self._block_capable:
+            block = model.sample_block(DELAY_BLOCK_SIZE, self._sim.rng)
+            if block is None:
+                self._block_capable = False
+            else:
+                self._delay_buffer = block
+                self._delay_pos = 1
+                return block[0]
+        return model.sample(src, dst, self._sim.rng)
 
     # -- delivery --------------------------------------------------------
     def _deliver(self, record: MessageRecord) -> None:
-        destination = self._sim.get_process(record.dst)
-        if destination is None or destination.is_crashed:
+        sim = self._sim
+        destination = sim._processes.get(record.dst)
+        if destination is None or destination._crashed:
             record.dropped = True
             self.stats.messages_dropped += 1
             return
-        record.delivered_at = self._sim.now
+        record.delivered_at = sim._now
         self.stats.messages_delivered += 1
-        for listener in self._deliver_listeners:
-            listener(record)
+        if self._deliver_listeners:
+            for listener in self._deliver_listeners:
+                listener(record)
         destination.deliver(record.src, record.payload)

@@ -31,6 +31,7 @@ class Process:
     def __init__(self, pid: ProcessId) -> None:
         self.pid = pid
         self._sim: Optional["Simulation"] = None
+        self._network = None  # bound on attach; avoids sim-property hops per send
         self._crashed = False
         self.messages_received = 0
         self.messages_sent = 0
@@ -41,6 +42,7 @@ class Process:
     def attach(self, simulation: "Simulation") -> None:
         """Called by the simulation when the process is registered."""
         self._sim = simulation
+        self._network = simulation.network
 
     @property
     def sim(self) -> "Simulation":
@@ -83,7 +85,12 @@ class Process:
         if self._crashed:
             return
         self.messages_sent += 1
-        self.sim.network.send(self.pid, dst, message)
+        network = self._network
+        if network is None:
+            raise RuntimeError(
+                f"process {self.pid!r} is not attached to a simulation"
+            )
+        network.send(self.pid, dst, message)
 
     def broadcast(self, destinations, message_factory: Callable[[ProcessId], object]) -> None:
         """Send an individually constructed message to every destination."""

@@ -5,15 +5,23 @@ and the registered processes.  Protocol test-benches and the cluster
 façades drive it with :meth:`Simulation.run` (until quiescence) or
 :meth:`Simulation.run_until` (until a predicate holds), both of which guard
 against runaway executions with event-count and time limits.
+
+The run loops are the hottest code in the repository (every simulated
+message is at least one event), so they are deliberately flat: one fused
+``pop_ready`` call per iteration (emptiness check, time-limit check and
+pop in a single heap traversal), clock/accounting updates inlined, and the
+optional hooks (:attr:`Simulation.event_hook`, deferred micro-tasks) each
+costing one predictable branch per event when unused.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import NO_ARG, Event, EventQueue
 from repro.sim.network import DelayModel, Network, ProcessId, UniformDelay
 from repro.sim.process import Process
 
@@ -50,6 +58,17 @@ class Simulation:
         self._queue = EventQueue()
         self._now = 0.0
         self._processes: Dict[ProcessId, Process] = {}
+        #: FIFO of deferred micro-tasks: callables run after the current
+        #: event finishes firing, at the same simulated time, before the
+        #: next event is popped.  The read-decode batcher uses this to
+        #: collect every decode that becomes ready within one event-loop
+        #: drain and push them through ``decode_many`` in a single call.
+        self._deferred: List[Callable[[], None]] = []
+        #: Optional per-event observer ``hook(event)`` invoked after the
+        #: clock advanced but before the event fires.  Used by the golden
+        #: event-order determinism tests; ``None`` (the default) costs one
+        #: branch per event.
+        self.event_hook: Optional[Callable[[Event], None]] = None
         self.network = Network(
             self, delay_model or UniformDelay(), keep_trace=keep_message_trace
         )
@@ -66,10 +85,29 @@ class Simulation:
     def schedule(
         self, delay: float, action: Callable[[], None], label: str = ""
     ) -> Event:
-        """Schedule ``action`` to run ``delay`` time units from now."""
-        if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        """Schedule ``action`` to run ``delay`` time units from now.
+
+        Negative delays are a caller bug; the check is a debug-mode assert
+        (delay models validate their parameters at construction, so the
+        per-message fast path no longer re-validates every send — see
+        :meth:`repro.sim.network.Network.send`).
+        """
+        assert delay >= 0, f"cannot schedule into the past (delay={delay})"
         return self._queue.push(self._now + delay, action, label=label)
+
+    def schedule_call(
+        self, delay: float, action: Callable[..., None], argument, label: str = ""
+    ) -> Event:
+        """Schedule ``action(argument)`` after ``delay`` time units.
+
+        The argument rides on the event itself, so hot paths (the network's
+        per-message delivery) need no closure or ``functools.partial``
+        allocation per schedule.
+        """
+        assert delay >= 0, f"cannot schedule into the past (delay={delay})"
+        return self._queue.push(
+            self._now + delay, action, label=label, argument=argument
+        )
 
     def schedule_at(
         self, time: float, action: Callable[[], None], label: str = ""
@@ -84,6 +122,24 @@ class Simulation:
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
         self._queue.cancel(event)
+
+    def defer(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after the current event finishes firing.
+
+        Deferred micro-tasks execute at the same simulated time as the
+        event that scheduled them, in FIFO order, before the next event is
+        popped — they are *not* heap events and never perturb the
+        ``(time, seq)`` event order (the golden-trace tests rely on this).
+        """
+        self._deferred.append(fn)
+
+    def _drain_deferred(self) -> None:
+        deferred = self._deferred
+        while deferred:
+            fns = deferred[:]
+            deferred.clear()
+            for fn in fns:
+                fn()
 
     # ------------------------------------------------------------------
     # process registry
@@ -114,7 +170,8 @@ class Simulation:
     # ------------------------------------------------------------------
     def _fire_event(self, event: Event) -> None:
         """Advance the clock to ``event`` and execute it (single source of
-        truth for the per-event accounting shared by step/run/run_until)."""
+        truth for the per-event accounting shared by step/run_until; the
+        quiescence loop in :meth:`run` inlines the same sequence)."""
         if event.time < self._now:
             raise SimulationError(
                 f"event {event.label!r} scheduled in the past "
@@ -122,7 +179,11 @@ class Simulation:
             )
         self._now = event.time
         self.events_processed += 1
+        if self.event_hook is not None:
+            self.event_hook(event)
         event.fire()
+        if self._deferred:
+            self._drain_deferred()
 
     def step(self) -> bool:
         """Process a single event; returns False if the queue is empty."""
@@ -139,22 +200,60 @@ class Simulation:
     ) -> None:
         """Run until the event queue drains (quiescence) or a limit is hit.
 
-        The loop pops directly off the event queue: one ``peek_time`` call
-        per iteration doubles as both the emptiness check and the time-limit
-        check, instead of the three queue scans ``step`` would repeat.
+        The loop pops directly off the event queue: one fused ``pop_ready``
+        call per iteration doubles as the emptiness check, the time-limit
+        check and the pop, and the per-event accounting is inlined (no
+        ``_fire_event`` call per event).
         """
         queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        deferred = self._deferred
+        hook = self.event_hook
+        no_arg = NO_ARG
         processed = 0
-        while True:
-            next_time = queue.peek_time()
-            if next_time is None or next_time > max_time:
-                return
-            self._fire_event(queue.pop())
-            processed += 1
-            if processed > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events without reaching quiescence"
-                )
+        try:
+            while True:
+                # Inlined EventQueue.pop_ready: emptiness check, cancelled
+                # skip, time-limit check and pop in one heap traversal with
+                # no per-event function call.
+                while True:
+                    if not heap:
+                        return
+                    entry = heap[0]
+                    event = entry[2]
+                    if event._queue is not queue:
+                        heappop(heap)
+                        continue
+                    if entry[0] > max_time:
+                        return
+                    heappop(heap)
+                    event._queue = None
+                    queue._live -= 1
+                    break
+                time = event.time
+                if time < self._now:
+                    raise SimulationError(
+                        f"event {event.label!r} scheduled in the past "
+                        f"({time} < {self._now})"
+                    )
+                self._now = time
+                processed += 1
+                if hook is not None:
+                    hook(event)
+                argument = event.argument
+                if argument is no_arg:
+                    event.action()
+                else:
+                    event.action(argument)
+                if deferred:
+                    self._drain_deferred()
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events without reaching quiescence"
+                    )
+        finally:
+            self.events_processed += processed
 
     def run_until(
         self,

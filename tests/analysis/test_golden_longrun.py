@@ -1,0 +1,46 @@
+"""Golden long-run artefact bytes: small sharded runs recorded on the
+pre-overhaul engine (see tests/golden/README.md) must reproduce
+byte-identically — across the event-loop/network rewrite, the pipelined
+`imap_unordered` merge, and any jobs count.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.longrun import (
+    run_longrun,
+    run_multi_longrun,
+    write_longrun_artefacts,
+    write_multiobj_artefacts,
+)
+from tests.golden.capture_goldens import (
+    GOLDEN_DIR,
+    LONGRUN_SCENARIO,
+    MULTIOBJ_SCENARIO,
+)
+
+
+def _assert_identical(produced: Path, golden_name: str) -> None:
+    golden = GOLDEN_DIR / golden_name
+    assert produced.read_bytes() == golden.read_bytes(), (
+        f"{golden_name} diverged from the golden artefact — the long-run "
+        f"engine's deterministic output changed"
+    )
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_longrun_artefacts_match_golden(tmp_path, jobs):
+    report = run_longrun("SODA", jobs=jobs, **LONGRUN_SCENARIO)
+    assert report.ok
+    json_path, csv_path = write_longrun_artefacts(report, tmp_path)
+    _assert_identical(json_path, "longrun_soda_1200.json")
+    _assert_identical(csv_path, "longrun_soda_1200.csv")
+
+
+def test_multiobj_artefacts_match_golden(tmp_path):
+    report = run_multi_longrun("SODA", jobs=1, **MULTIOBJ_SCENARIO)
+    assert report.ok
+    json_path, csv_path = write_multiobj_artefacts(report, tmp_path)
+    _assert_identical(json_path, "multiobj_soda_4x600.json")
+    _assert_identical(csv_path, "multiobj_soda_4x600.csv")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis import experiments as exp
-from repro.analysis.sweep import SweepSpec, derive_seed, run_sweep
+from repro.analysis.sweep import SweepSpec, derive_seed, iter_sweep, run_sweep
 from repro.analysis.sweeps import available_sweeps, rows_as_dicts, run_named_sweep
 
 
@@ -50,6 +50,29 @@ class TestRunSweep:
     def test_multiprocess_matches_serial(self):
         spec = _spec(points=5, base_seed=3)
         assert run_sweep(spec, jobs=1) == run_sweep(spec, jobs=2)
+
+
+class TestIterSweep:
+    def test_serial_yields_in_point_order(self):
+        pairs = list(iter_sweep(_spec(points=4), jobs=1))
+        assert [i for i, _ in pairs] == [0, 1, 2, 3]
+        assert [r["label"] for _, r in pairs] == ["p0", "p1", "p2", "p3"]
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            list(iter_sweep(_spec(), jobs=0))
+
+    def test_unordered_stream_covers_every_point(self):
+        """jobs>1 yields in completion order; index + result pairs must
+        reconstruct exactly the serial results (the order-restoring merge
+        the longrun engine builds on)."""
+        spec = _spec(points=5, base_seed=3)
+        serial = run_sweep(spec, jobs=1)
+        collected = {}
+        for index, result in iter_sweep(spec, jobs=2):
+            assert index not in collected
+            collected[index] = result
+        assert [collected[i] for i in range(5)] == serial
 
 
 class TestExperimentDeterminism:

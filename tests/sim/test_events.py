@@ -115,3 +115,52 @@ class TestEventQueue:
         q = EventQueue()
         ev = q.push(1.0, lambda: None, label="hello")
         assert ev.label == "hello"
+
+    def test_argument_carrying_event(self):
+        """Events can carry one preallocated argument (the network's
+        deliver fast path schedules ``deliver(record)`` without a partial)."""
+        q = EventQueue()
+        seen = []
+        ev = q.push(1.0, seen.append, argument="payload")
+        ev2 = q.push(2.0, lambda: seen.append("no-arg"))
+        q.pop().fire()
+        q.pop().fire()
+        assert seen == ["payload", "no-arg"]
+        assert ev.argument == "payload"
+        assert ev2.seq > ev.seq
+
+    def test_pop_ready_fuses_peek_and_pop(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None, label="early")
+        q.push(5.0, lambda: None, label="late")
+        ev = q.pop_ready(2.0)
+        assert ev is not None and ev.label == "early"
+        assert q.pop_ready(2.0) is None  # "late" fires after the limit...
+        assert len(q) == 1  # ...and stays queued
+        assert q.pop_ready(10.0).label == "late"
+        assert q.pop_ready(10.0) is None  # empty queue
+
+    def test_pop_ready_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None, label="kept")
+        q.cancel(ev)
+        assert q.pop_ready(10.0).label == "kept"
+
+    def test_cancel_event_of_other_queue_is_noop(self):
+        """In-place cancellation must not corrupt a different queue's
+        pending count when handed another queue's event."""
+        q1, q2 = EventQueue(), EventQueue()
+        ev1 = q1.push(1.0, lambda: None)
+        q2.push(1.0, lambda: None)
+        q2.cancel(ev1)
+        assert len(q1) == 1 and len(q2) == 1
+        assert q1.pop() is ev1
+
+    def test_cancel_after_clear_is_noop(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.clear()
+        q.cancel(ev)
+        assert len(q) == 0
+        assert not q

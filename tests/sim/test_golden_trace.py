@@ -1,0 +1,26 @@
+"""Golden event-order determinism: the exact `(time, seq, label)` firing
+order of a fixed-seed SODA workload, recorded on the pre-overhaul
+simulation core (see tests/golden/README.md).
+
+Any change to heap ordering, `(time, seq)` tie-breaking, delay sampling
+(scalar vs. vectorized block draws) or the deferred decode batching would
+perturb this trace — the event-queue/network rewrite must be
+event-for-event invisible.
+"""
+
+import json
+
+from tests.golden.capture_goldens import GOLDEN_DIR, record_event_trace
+
+
+def test_event_firing_order_matches_golden():
+    golden = json.loads((GOLDEN_DIR / "golden_event_trace.json").read_text())
+    trace = record_event_trace()
+    expected = [tuple(row) for row in golden["events"]]
+    got = [tuple(row) for row in trace]
+    assert len(got) == len(expected)
+    for i, (exp, now) in enumerate(zip(expected, got)):
+        assert now == exp, (
+            f"event {i} diverged from the golden trace: "
+            f"expected {exp!r}, got {now!r}"
+        )

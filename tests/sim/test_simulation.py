@@ -43,7 +43,10 @@ class TestScheduling:
         sim.run()
         with pytest.raises(ValueError):
             sim.schedule_at(0.5, lambda: None)
-        with pytest.raises(ValueError):
+        # Relative-delay validation is hoisted out of the per-message fast
+        # path: a negative delay is a caller bug caught by a debug-mode
+        # assert (delay models validate their parameters at construction).
+        with pytest.raises(AssertionError):
             sim.schedule(-1.0, lambda: None)
 
     def test_nested_scheduling(self):
@@ -206,3 +209,61 @@ class TestMessaging:
         sim.schedule(0.0, lambda: sim.get_process("a").send("b", "ping"))
         sim.run()
         assert sim.events_processed >= 3  # send trigger + 2 deliveries
+
+
+class TestDeferredMicrotasks:
+    """Simulation.defer: run after the current event, same simulated time,
+    FIFO, never a heap event (the decode batcher's flush hook)."""
+
+    def test_deferred_runs_after_event_at_same_time(self):
+        sim = Simulation(seed=1)
+        order = []
+
+        def action():
+            sim.defer(lambda: order.append(("deferred", sim.now)))
+            order.append(("event", sim.now))
+
+        sim.schedule(1.0, action)
+        sim.schedule(2.0, lambda: order.append(("later", sim.now)))
+        sim.run()
+        assert order == [("event", 1.0), ("deferred", 1.0), ("later", 2.0)]
+
+    def test_deferred_fifo_and_nested(self):
+        sim = Simulation(seed=1)
+        order = []
+
+        def action():
+            sim.defer(lambda: order.append("first"))
+            sim.defer(lambda: (order.append("second"),
+                               sim.defer(lambda: order.append("nested"))))
+
+        sim.schedule(1.0, action)
+        sim.run()
+        assert order == ["first", "second", "nested"]
+
+    def test_deferred_runs_in_step_and_run_until(self):
+        sim = Simulation(seed=1)
+        seen = []
+        sim.schedule(1.0, lambda: sim.defer(lambda: seen.append("a")))
+        assert sim.step()
+        assert seen == ["a"]
+        sim.schedule(1.0, lambda: sim.defer(lambda: seen.append("b")))
+        sim.run_until(lambda: len(seen) == 2)
+        assert seen == ["a", "b"]
+
+    def test_event_hook_observes_every_event(self):
+        sim = Simulation(seed=1)
+        fired = []
+        sim.event_hook = lambda ev: fired.append((ev.time, ev.seq, ev.label))
+        sim.schedule(1.0, lambda: None, label="one")
+        sim.schedule(2.0, lambda: None, label="two")
+        sim.run()
+        assert [(t, lbl) for t, _, lbl in fired] == [(1.0, "one"), (2.0, "two")]
+        assert fired[0][1] < fired[1][1]
+
+    def test_schedule_call_carries_argument(self):
+        sim = Simulation(seed=1)
+        seen = []
+        sim.schedule_call(1.0, seen.append, "payload", label="call")
+        sim.run()
+        assert seen == ["payload"]
