@@ -11,7 +11,11 @@ Two artefacts track the repository's performance trajectory:
   deterministic ``<proto>_completion_ratio``), event-loop microbenchmark
   rows (``eventloop_events_per_s`` / ``send_path_msgs_per_s`` /
   ``eventloop_cancel_ops_per_s`` — see :mod:`bench_event_loop`, gated
-  tighter than the protocol rows), a sweep-engine throughput
+  tighter than the protocol rows), checker-core microbenchmark rows
+  (``checker_ops_per_s`` / ``checker_batched_ops_per_s`` /
+  ``multiobj_checked_ops_per_s`` — pre-generated operation streams
+  replayed straight into the checking layer, see :mod:`bench_checker`),
+  a sweep-engine throughput
   row (``sweep_points_per_s``), a streaming-checker throughput row
   (``stream_ops_per_s``, the incremental atomicity checker over a
   bounded-memory recorder), real-cluster longrun rows
@@ -53,6 +57,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+from bench_checker import bench_checker  # noqa: E402
 from bench_event_loop import bench_event_loop  # noqa: E402
 from bench_gf_kernels import bench_erasure  # noqa: E402
 
@@ -86,7 +91,11 @@ SIM_PROTOCOLS = ("ABD", "CAS", "CASGC", "SODA")
 #: rate rows (per-protocol ``*_events_per_s``, ``sweep_points_per_s``,
 #: ``stream_ops_per_s``) are trajectory records, not gates: stacking more
 #: absolute wall-clock gates would multiply the odds of a slow CI host
-#: failing with no code change.
+#: failing with no code change.  The checker-core rows
+#: (``checker_ops_per_s``, ``multiobj_checked_ops_per_s``) ARE gated:
+#: they replay a pre-generated stream with no simulation in the loop, so
+#: they are far less noisy than the end-to-end rates and a 2x drop means
+#: the checker's flat core (or the mux forwarding pipeline) regressed.
 GATED_METRICS = {
     "erasure": [
         "encode_speedup_vs_seed",
@@ -98,6 +107,8 @@ GATED_METRICS = {
         "completion_ratio",
         "eventloop_events_per_s",
         "send_path_msgs_per_s",
+        "checker_ops_per_s",
+        "multiobj_checked_ops_per_s",
     ]
     + [f"{proto.lower()}_completion_ratio" for proto in SIM_PROTOCOLS],
 }
@@ -108,6 +119,10 @@ GATED_METRICS = {
 GATED_METRIC_FACTORS = {
     "eventloop_events_per_s": 1 / 0.7,
     "send_path_msgs_per_s": 1 / 0.7,
+    # The worker-mode mux row includes process spawn/import amortization,
+    # which varies with host cold-start far more than pure compute does —
+    # gate it, but at a looser threshold than the in-process rows.
+    "multiobj_checked_ops_per_s": 3.0,
 }
 #: Memory-gauge gates ("lower is better"): the resident-record ceilings of
 #: the streaming paths are deterministic functions of window + client
@@ -188,6 +203,13 @@ def bench_sim(*, quick: bool = False, seed: int = 7) -> Dict[str, object]:
     # two carry a tighter CI gate (>30% regression fails) because they
     # isolate the simulation core from protocol logic.
     results.update(bench_event_loop(quick=quick))
+
+    # Checker-core microbenchmark rows: pre-generated operation streams
+    # replayed straight into the checking layer — serial per-op, batched
+    # (drain-sized begin/end_batch brackets) and worker-process mux
+    # pipelines (see bench_checker.py).  The serial and mux rows carry CI
+    # gates: no simulation in the loop makes them stable enough to gate.
+    results.update(bench_checker(quick=quick, seed=seed))
 
     # Sweep-engine throughput: points of the E2 storage sweep per second
     # (in-process; multiprocess sharding is covered by the determinism

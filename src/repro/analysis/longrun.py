@@ -59,7 +59,12 @@ from repro.consistency.shardmerge import (
     shard_verdict_from_checker,
     shift_summary,
 )
-from repro.consistency.stream import OperationRecord, StreamingRecorder, StreamObserver
+from repro.consistency.stream import (
+    CheckerBatcher,
+    OperationRecord,
+    StreamingRecorder,
+    StreamObserver,
+)
 from repro.runtime.namespace import MultiRegisterCluster
 from repro.workloads.keyed import parse_key_dist
 
@@ -145,6 +150,14 @@ def longrun_epoch_point(
     """
     marker = _epoch_marker(epoch_index)
     recorder = StreamingRecorder(window=window)
+    checker = IncrementalAtomicityChecker(
+        initial_value=marker, frontier_limit=frontier_limit
+    )
+    # Subscribed before the cluster exists so make_cluster binds the
+    # batcher to its simulation's micro-task hook: crossing tests then run
+    # once per event-loop drain (verdict-identical to per-op checking).
+    batcher = recorder.subscribe(CheckerBatcher(checker))
+    tap = recorder.subscribe(_RecordTap()) if keep_records else None
     cluster = make_cluster(
         protocol,
         n,
@@ -156,12 +169,6 @@ def longrun_epoch_point(
         recorder=recorder,
         **dict(cluster_kwargs),
     )
-    checker = recorder.subscribe(
-        IncrementalAtomicityChecker(
-            initial_value=marker, frontier_limit=frontier_limit
-        )
-    )
-    tap = recorder.subscribe(_RecordTap()) if keep_records else None
     start = time.perf_counter()
     stats = cluster.run_streamed(
         operations=ops,
@@ -171,6 +178,7 @@ def longrun_epoch_point(
         value_prefix=f"e{epoch_index}|",
     )
     wall_s = time.perf_counter() - start
+    batcher.flush()
     verdict = shard_verdict_from_checker(epoch_index, checker)
     return {
         "epoch": epoch_index,
@@ -615,6 +623,7 @@ def multiobj_epoch_point(
     keep_records: bool,
     cluster_kwargs: Mapping[str, object],
     seed: int,
+    checker_workers: int = 1,
 ) -> Dict[str, object]:
     """One epoch of a multi-object long run: a fresh namespace streamed
     for ``ops`` keyed operations over one shared simulation.
@@ -623,6 +632,12 @@ def multiobj_epoch_point(
     its own bounded recorder + incremental checker; the payload carries
     one :class:`~repro.consistency.shardmerge.ShardVerdict` per object so
     the merge can reconcile each object's epochs independently.
+
+    ``checker_workers > 1`` moves the per-object checkers into spawned
+    worker processes that check concurrently with the simulation; verdicts
+    are byte-identical for any worker count (and the mux falls back to
+    serial checking when this epoch already runs inside a daemonic sweep
+    worker, which cannot spawn children).
     """
     marker = _epoch_marker(epoch_index)
     mux = ObjectCheckerMux(
@@ -630,6 +645,7 @@ def multiobj_epoch_point(
         window=window,
         frontier_limit=frontier_limit,
         initial_value=marker,
+        workers=checker_workers,
     )
     taps = [
         mux.recorders[j].subscribe(_RecordTap()) if keep_records else None
@@ -657,9 +673,10 @@ def multiobj_epoch_point(
         value_prefix=f"e{epoch_index}|",
     )
     wall_s = time.perf_counter() - start
+    mux.finish()
     object_payloads = []
     for j in range(objects):
-        verdict = shard_verdict_from_checker(epoch_index, mux.checker(j))
+        verdict = mux.shard_verdict(epoch_index, j)
         per_obj = stats.per_object[j]
         object_payloads.append(
             {
@@ -674,7 +691,7 @@ def multiobj_epoch_point(
                 ),
                 "max_resident": mux.recorders[j].max_resident,
                 "evicted": mux.recorders[j].evicted_count,
-                "checker_ok": mux.checker(j).ok,
+                "checker_ok": mux.object_ok(j),
                 "verdict": verdict,
                 "records": tuple(taps[j].records.values()) if keep_records else None,
             }
@@ -857,6 +874,7 @@ def run_multi_longrun(
     seed: int = 0,
     keep_records: bool = False,
     protocol_kwargs: Optional[Mapping[str, object]] = None,
+    checker_workers: int = 1,
 ) -> MultiObjectLongRunReport:
     """Run one multi-object long streamed execution, sharded into epochs.
 
@@ -864,7 +882,11 @@ def run_multi_longrun(
     on the parameters, epochs own derived seeds, and the namespace verdict
     — per-object merges aggregated by
     :func:`~repro.consistency.shardmerge.merge_namespace_verdicts` — is
-    byte-identical for every ``jobs`` count.
+    byte-identical for every ``jobs`` count.  ``checker_workers`` moves
+    each epoch's per-object checkers into spawned worker processes; the
+    verdict is byte-identical for every worker count too (and epochs
+    running inside a ``jobs>1`` sweep pool fall back to serial checking —
+    daemonic workers cannot spawn children).
 
     Defaults are smaller than the single-register long run (fewer clients,
     smaller window) because the namespace multiplies both by ``objects``.
@@ -899,6 +921,7 @@ def run_multi_longrun(
             "frontier_limit": frontier_limit,
             "keep_records": keep_records,
             "cluster_kwargs": cluster_kwargs,
+            "checker_workers": checker_workers,
         }
         for k in range(epochs)
     )

@@ -122,6 +122,7 @@ def _cmd_multiobj_longrun(args: argparse.Namespace) -> int:
             n=args.n,
             f=args.f,
             seed=args.seed,
+            checker_workers=args.checker_workers,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -380,6 +381,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-artefacts",
         action="store_true",
         help="with 'longrun': skip writing artefact files",
+    )
+    p_exp.add_argument(
+        "--checker-workers",
+        type=int,
+        default=1,
+        help="with 'longrun --objects N': run each epoch's per-object "
+        "checkers in this many spawned worker processes (verdicts are "
+        "byte-identical for any count; >1 is ignored under --jobs>1, "
+        "whose pool workers cannot spawn children)",
     )
     p_exp.set_defaults(func=_cmd_experiment)
 

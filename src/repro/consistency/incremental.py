@@ -3,10 +3,10 @@
 The Wing–Gong–Lowe checker in :mod:`repro.consistency.wgl` is exponential
 in the degree of concurrency and needs the whole history in memory.  This
 module checks the same property *online*, consuming the operation event
-stream as operations retire, in O(ops · frontier) time and with memory
-proportional to the number of distinct writes (two floats and a digest per
-write) — never the full history.  It is designed to hang off a
-:class:`~repro.consistency.stream.StreamingRecorder` as a
+stream as operations retire, in amortized O(log clusters) per operation and
+with memory proportional to the number of distinct writes (a handful of
+floats and a digest per write) — never the full history.  It is designed to
+hang off a :class:`~repro.consistency.stream.StreamingRecorder` as a
 :class:`~repro.consistency.stream.StreamObserver`.
 
 Theory (register specialisation with pairwise-distinct write values)
@@ -44,24 +44,58 @@ write itself contributing ``+inf``); an unread incomplete write has
 ``b = +inf`` and can never participate in a crossing, matching WGL
 discarding it.
 
-Frontier and memory bound
--------------------------
-Clusters that can still change — the write or a read of its value is
-plausibly in flight — live in a bounded *frontier* dict checked pairwise.
-When the frontier overflows, the least-recently-updated cluster is folded
-into a compact staircase (b-sorted arrays with prefix-max of ``a``) that
-answers "is there a closed cluster with ``b < t`` and ``a > s``" in
-O(log n).  A late read of a closed cluster's value re-opens it (staircase
-rebuilt; rare by construction).  Write values are stored only as 16-byte
-BLAKE2 digests, so memory stays ~50 bytes per distinct write regardless of
-payload size.
+Flat-core layout
+----------------
+Cluster state lives in flat parallel lists keyed by small integer cluster
+ids (``cid``), with one dict mapping 16-byte BLAKE2 value digests to cids —
+no per-cluster objects on the hot path.  Every cluster whose ``b`` is
+finite also owns one slot in a single *interval table*: lists sorted by
+``b`` carrying a snapshot of ``a`` plus a running top-2 prefix maximum of
+``a`` (value, owner cid, runner-up).  Because ``a`` only grows and ``b``
+only shrinks, the crossing predicate is monotone, and the table answers
+"does any other cluster have ``b < a(C)`` and ``a > b(C)``" with one
+``bisect`` and two list reads — the top-2 prefix lets the query exclude
+``C``'s own entry without a range structure.  In a time-ordered stream
+first responses arrive in nondecreasing order, so table inserts are
+tail-appends (O(1) amortized); a-growth near the tail refreshes the prefix
+in place, and rare far-from-tail growth parks the cid in a small *dirty
+overlay* that queries scan with current values and a compaction folds back
+in batches.  Out-of-order direct feeds fall back to a mid-table insert
+that rebuilds the prefix from the insertion point — correct, merely
+slower, and never hit by the simulator's time-ordered streams.
+
+The crossing test itself is therefore O(log n) on clean histories; only
+when a crossing *exists* (the history is non-linearizable) does the
+checker replay the legacy LRU-order frontier scan to name the same
+partner, in the same order, with the same message bytes as the PR 5
+object-based implementation — violation output is byte-identical.
+
+Frontier bookkeeping
+--------------------
+The bounded LRU *frontier* of open clusters survives as pure bookkeeping:
+``frontier_limit`` evictions mark clusters closed and late events reopen
+them (counted in ``reopened_clusters``), but open/closed no longer selects
+between two crossing structures, so reopening does zero structural work —
+the staircase-removal fallback of the old core (which could silently leave
+a stale entry behind on duplicate ``min_resp`` runs) is structurally gone.
+
+Batched ingestion
+-----------------
+:meth:`IncrementalAtomicityChecker.begin_batch` /
+:meth:`~IncrementalAtomicityChecker.end_batch` bracket a batch of events
+(one event-loop drain, fed by
+:class:`~repro.consistency.stream.CheckerBatcher`): summary bookkeeping
+stays per-record, but crossing tests are deferred and run once per touched
+cluster at the batch end.  Monotonicity makes this sound *and* complete —
+a crossing visible mid-batch is still visible at batch end, and a clean
+batch end proves every intermediate state was clean.
 """
 
 from __future__ import annotations
 
-import bisect
 import hashlib
 import math
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
@@ -69,6 +103,16 @@ from repro.consistency.stream import WRITE, OperationRecord, StreamObserver
 
 #: Digest key of the distinguished initial value / any value at time -inf.
 _INITIAL = b"\x00" * 16
+
+_INF = math.inf
+_NEG_INF = -math.inf
+
+#: a-growth this close to the table tail refreshes the prefix eagerly;
+#: farther entries go to the dirty overlay instead (bounding the refresh).
+_EAGER_TAIL = 32
+
+#: Dirty-overlay compaction threshold (bounds the per-query overlay scan).
+_DIRTY_LIMIT = 16
 
 
 def _value_key(value: Optional[bytes]) -> bytes:
@@ -87,38 +131,6 @@ class Violation:
 
     def __str__(self) -> str:  # pragma: no cover - debugging convenience
         return f"[{self.kind}] {self.description}"
-
-
-@dataclass
-class _Cluster:
-    """Summary of one write and the reads that returned its value."""
-
-    write_id: str
-    max_inv: float  # a(C): latest member invocation
-    min_resp: float  # b(C): earliest member response (+inf while pending)
-    write_invoked: float
-    closed: bool = False
-    #: False only for placeholder clusters created in ``defer`` mode when a
-    #: read's value has no locally observed write (the write may live in
-    #: another shard of a sharded run; the merge pass resolves it).
-    has_write: bool = True
-    #: Bookkeeping for the shard-merge reconciliation pass; these fields do
-    #: not feed the crossing test.
-    min_read_resp: float = math.inf
-    reads: int = 0
-    first_read_inv: float = math.inf
-    first_read_id: Optional[str] = None
-
-    def note_read(self, record: OperationRecord) -> None:
-        self.reads += 1
-        if record.responded_at is not None:
-            self.min_read_resp = min(self.min_read_resp, record.responded_at)
-        if (record.invoked_at, record.op_id) < (
-            self.first_read_inv,
-            self.first_read_id or "",
-        ):
-            self.first_read_inv = record.invoked_at
-            self.first_read_id = record.op_id
 
 
 class ClusterSummary(NamedTuple):
@@ -189,25 +201,50 @@ class IncrementalAtomicityChecker(StreamObserver):
         #: duplicates canonically across shards.
         self.duplicate_write_claims: List[Tuple[bytes, str, float]] = []
 
-        # value digest -> cluster (authoritative, one entry per write ever)
-        self._clusters: Dict[bytes, _Cluster] = {}
-        # open clusters in LRU order of last update (value digest keys)
-        self._frontier: Dict[bytes, None] = {}
-        # closed clusters: b-sorted arrays + prefix max of a
-        self._closed_b: List[float] = []
-        self._closed_a_prefix_max: List[float] = []
-        self._closed_a: List[float] = []
-        self._closed_ids: List[str] = []
+        # -- flat cluster state: parallel lists indexed by cid -----------
+        # value digest -> cid (authoritative, one entry per write ever)
+        self._cid_of: Dict[bytes, int] = {}
+        self._write_id: List[str] = []
+        self._max_inv: List[float] = []  # a(C): latest member invocation
+        self._min_resp: List[float] = []  # b(C): earliest member response
+        self._write_invoked: List[float] = []
+        self._has_write: List[bool] = []
+        self._is_closed: List[bool] = []
+        # shard-merge bookkeeping (not on the crossing path)
+        self._min_read_resp: List[float] = []
+        self._reads: List[int] = []
+        self._first_read_inv: List[float] = []
+        self._first_read_id: List[Optional[str]] = []
 
-        initial = _Cluster(
-            write_id="<initial>",
-            max_inv=-math.inf,
-            min_resp=-math.inf,
-            write_invoked=-math.inf,
-        )
+        # open clusters in LRU order of last update
+        self._frontier: Dict[int, None] = {}
+
+        # -- the interval table: every responded cluster, sorted by b ----
+        self._tb: List[float] = []  # current b, ascending
+        self._ta: List[float] = []  # snapshot of a (exact unless dirty)
+        self._tcid: List[int] = []  # owner cid per slot
+        self._pos: List[int] = []  # cid -> table slot (-1 while b == inf)
+        # running top-2 prefix max of _ta: value, owner cid, runner-up
+        self._pm1: List[float] = []
+        self._pa1: List[int] = []
+        self._pm2: List[float] = []
+        # cids whose a grew past their snapshot without a prefix refresh
+        self._dirty: Dict[int, None] = {}
+
+        #: When not None, cids whose crossing test is deferred to
+        #: :meth:`end_batch` (insertion-ordered, deduplicated).
+        self._deferred: Optional[Dict[int, None]] = None
+
         self._initial_key = _value_key(initial_value)
-        self._clusters[self._initial_key] = initial
-        self._frontier[self._initial_key] = None
+        cid = self._new_cluster(
+            self._initial_key,
+            write_id="<initial>",
+            max_inv=_NEG_INF,
+            min_resp=_NEG_INF,
+            write_invoked=_NEG_INF,
+        )
+        self._frontier[cid] = None
+        self._table_insert(cid)
 
     # ------------------------------------------------------------------
     # StreamObserver interface
@@ -217,9 +254,9 @@ class IncrementalAtomicityChecker(StreamObserver):
         if record.kind != WRITE:
             return
         key = _value_key(record.value)
-        existing = self._clusters.get(key)
-        if existing is not None:
-            if existing.has_write:
+        cid = self._cid_of.get(key)
+        if cid is not None:
+            if self._has_write[cid]:
                 self.duplicate_write_claims.append(
                     (key, record.op_id, record.invoked_at)
                 )
@@ -234,55 +271,57 @@ class IncrementalAtomicityChecker(StreamObserver):
                 return
             # Defer-mode placeholder created by an earlier read of this
             # value: the write has now arrived, so the placeholder adopts it.
-            if existing.closed:
-                self._reopen(key, existing)
+            if self._is_closed[cid]:
+                self._reopen(cid)
             else:
-                self._open(key)
-            existing.write_id = record.op_id
-            existing.has_write = True
-            existing.write_invoked = record.invoked_at
-            existing.max_inv = max(existing.max_inv, record.invoked_at)
-            if existing.min_read_resp < record.invoked_at:
+                self._open(cid)
+            self._write_id[cid] = record.op_id
+            self._has_write[cid] = True
+            self._write_invoked[cid] = record.invoked_at
+            if record.invoked_at > self._max_inv[cid]:
+                self._max_inv[cid] = record.invoked_at
+                self._note_a_growth(cid)
+            if self._min_read_resp[cid] < record.invoked_at:
                 self._flag(
                     Violation(
                         "read-from-future",
-                        f"read {existing.first_read_id} responded before its "
+                        f"read {self._first_read_id[cid]} responded before its "
                         f"write {record.op_id} was invoked",
-                        (existing.first_read_id or "?", record.op_id),
+                        (self._first_read_id[cid] or "?", record.op_id),
                     )
                 )
                 return
-            self._check_crossings(existing)
+            self._check_crossings(cid)
             return
-        cluster = _Cluster(
+        cid = self._new_cluster(
+            key,
             write_id=record.op_id,
             max_inv=record.invoked_at,
-            min_resp=math.inf,
+            min_resp=_INF,
             write_invoked=record.invoked_at,
         )
-        self._clusters[key] = cluster
-        self._open(key)
+        self._open(cid)
 
     def on_complete(self, record: OperationRecord) -> None:
         if record.kind == WRITE:
             key = _value_key(record.value)
-            cluster = self._clusters.get(key)
-            if cluster is None or not cluster.has_write:
+            cid = self._cid_of.get(key)
+            if cid is None or not self._has_write[cid]:
                 # invoke was never observed (stream joined late, or a defer
                 # placeholder holds the value): register/adopt now.
                 self.on_invoke(record)
-                cluster = self._clusters.get(key)
-            if cluster is None or cluster.write_id != record.op_id:
+                cid = self._cid_of.get(key)
+            if cid is None or self._write_id[cid] != record.op_id:
                 # Duplicate write value: flagged when its invoke was observed
                 # (re-dispatching to on_invoke here would double-count the op
                 # and append the violation a second time).
                 return
-            self._update(key, cluster, new_resp=record.responded_at)
+            self._update(cid, new_resp=record.responded_at)
         else:
             self.reads_checked += 1
             key = _value_key(record.value)
-            cluster = self._clusters.get(key)
-            if cluster is None:
+            cid = self._cid_of.get(key)
+            if cid is None:
                 if self.unknown_values == "flag":
                     self._flag(
                         Violation(
@@ -296,36 +335,35 @@ class IncrementalAtomicityChecker(StreamObserver):
                 # defer mode: a write-less placeholder joins the frontier and
                 # constrains ordering like any cluster; the merge pass flags
                 # it as unwritten only if no shard ever saw its write.
-                cluster = _Cluster(
+                cid = self._new_cluster(
+                    key,
                     write_id=f"<unwritten:{record.op_id}>",
-                    max_inv=-math.inf,
-                    min_resp=math.inf,
-                    write_invoked=-math.inf,
+                    max_inv=_NEG_INF,
+                    min_resp=_INF,
+                    write_invoked=_NEG_INF,
                     has_write=False,
                 )
-                self._clusters[key] = cluster
-                self._open(key)
+                self._open(cid)
             if record.responded_at is not None and (
-                record.responded_at < cluster.write_invoked
+                record.responded_at < self._write_invoked[cid]
             ):
                 # Bookkeeping still records the offending read so the shard
                 # merge can recompute this violation from summaries alone;
                 # the (a, b) crossing summary stays untouched, matching the
                 # early return of the original single-stream semantics.
-                cluster.note_read(record)
+                self._note_read(cid, record)
                 self._flag(
                     Violation(
                         "read-from-future",
                         f"read {record.op_id} responded before its write "
-                        f"{cluster.write_id} was invoked",
-                        (record.op_id, cluster.write_id),
+                        f"{self._write_id[cid]} was invoked",
+                        (record.op_id, self._write_id[cid]),
                     )
                 )
                 return
-            cluster.note_read(record)
+            self._note_read(cid, record)
             self._update(
-                key,
-                cluster,
+                cid,
                 new_inv=record.invoked_at,
                 new_resp=record.responded_at,
             )
@@ -333,6 +371,26 @@ class IncrementalAtomicityChecker(StreamObserver):
     # Direct-feed aliases for callers not going through a sink.
     observe_invoke = on_invoke
     observe_complete = on_complete
+
+    # ------------------------------------------------------------------
+    # batched ingestion (one event-loop drain = one batch)
+    # ------------------------------------------------------------------
+    def begin_batch(self) -> None:
+        """Defer crossing tests until :meth:`end_batch`.
+
+        Summary updates stay per-record; only the (monotone) crossing
+        predicate is postponed, so the batch verdict equals the per-op
+        verdict.  Nested calls coalesce into the outermost batch.
+        """
+        if self._deferred is None:
+            self._deferred = {}
+
+    def end_batch(self) -> None:
+        """Run one crossing test per cluster touched since ``begin_batch``."""
+        pending, self._deferred = self._deferred, None
+        if pending:
+            for cid in pending:
+                self._check_crossings(cid)
 
     # ------------------------------------------------------------------
     # results
@@ -347,7 +405,7 @@ class IncrementalAtomicityChecker(StreamObserver):
             violations=tuple(self.violations),
             ops_seen=self.ops_seen,
             reads_checked=self.reads_checked,
-            clusters=len(self._clusters),
+            clusters=len(self._cid_of),
             frontier_size=len(self._frontier),
         )
 
@@ -359,21 +417,21 @@ class IncrementalAtomicityChecker(StreamObserver):
         independent of update order, frontier evictions and dict iteration.
         """
         rows = []
-        for key, cluster in self._clusters.items():
+        for key, cid in self._cid_of.items():
             rows.append(
                 ClusterSummary(
                     key=key,
-                    write_id=cluster.write_id,
-                    has_write=cluster.has_write,
-                    write_invoked=cluster.write_invoked,
-                    max_inv=cluster.max_inv,
-                    min_resp=cluster.min_resp,
-                    min_read_resp=cluster.min_read_resp,
-                    reads=cluster.reads,
-                    first_read_inv=cluster.first_read_inv,
-                    first_read_id=cluster.first_read_id,
+                    write_id=self._write_id[cid],
+                    has_write=self._has_write[cid],
+                    write_invoked=self._write_invoked[cid],
+                    max_inv=self._max_inv[cid],
+                    min_resp=self._min_resp[cid],
+                    min_read_resp=self._min_read_resp[cid],
+                    reads=self._reads[cid],
+                    first_read_inv=self._first_read_inv[cid],
+                    first_read_id=self._first_read_id[cid],
                     initial=key == self._initial_key
-                    and cluster.write_id == "<initial>",
+                    and self._write_id[cid] == "<initial>",
                 )
             )
         rows.sort(key=lambda r: (r.key, r.write_id))
@@ -382,115 +440,338 @@ class IncrementalAtomicityChecker(StreamObserver):
     # ------------------------------------------------------------------
     # cluster maintenance
     # ------------------------------------------------------------------
+    def _new_cluster(
+        self,
+        key: bytes,
+        *,
+        write_id: str,
+        max_inv: float,
+        min_resp: float,
+        write_invoked: float,
+        has_write: bool = True,
+    ) -> int:
+        cid = len(self._write_id)
+        self._cid_of[key] = cid
+        self._write_id.append(write_id)
+        self._max_inv.append(max_inv)
+        self._min_resp.append(min_resp)
+        self._write_invoked.append(write_invoked)
+        self._has_write.append(has_write)
+        self._is_closed.append(False)
+        self._min_read_resp.append(_INF)
+        self._reads.append(0)
+        self._first_read_inv.append(_INF)
+        self._first_read_id.append(None)
+        self._pos.append(-1)
+        return cid
+
+    def _note_read(self, cid: int, record: OperationRecord) -> None:
+        self._reads[cid] += 1
+        responded = record.responded_at
+        if responded is not None and responded < self._min_read_resp[cid]:
+            self._min_read_resp[cid] = responded
+        if (record.invoked_at, record.op_id) < (
+            self._first_read_inv[cid],
+            self._first_read_id[cid] or "",
+        ):
+            self._first_read_inv[cid] = record.invoked_at
+            self._first_read_id[cid] = record.op_id
+
     def _flag(self, violation: Violation) -> None:
         if len(self.violations) < self.max_violations:
             self.violations.append(violation)
 
-    def _open(self, key: bytes) -> None:
+    def _open(self, cid: int) -> None:
         """(Re)insert a cluster into the frontier, evicting LRU overflow."""
-        self._frontier.pop(key, None)
-        self._frontier[key] = None
-        while len(self._frontier) > self.frontier_limit:
-            old_key = next(iter(self._frontier))
-            del self._frontier[old_key]
-            self._close(self._clusters[old_key])
+        frontier = self._frontier
+        frontier.pop(cid, None)
+        frontier[cid] = None
+        if len(frontier) > self.frontier_limit:
+            is_closed = self._is_closed
+            while len(frontier) > self.frontier_limit:
+                old = next(iter(frontier))
+                del frontier[old]
+                is_closed[old] = True
 
-    def _close(self, cluster: _Cluster) -> None:
-        cluster.closed = True
-        if cluster.min_resp == math.inf:
-            # Unread pending write: can never cross anything; drop from the
-            # staircase entirely (it stays in _clusters for value lookups).
-            return
-        index = bisect.bisect_left(self._closed_b, cluster.min_resp)
-        self._closed_b.insert(index, cluster.min_resp)
-        self._closed_a.insert(index, cluster.max_inv)
-        self._closed_ids.insert(index, cluster.write_id)
-        if index == len(self._closed_b) - 1 and (
-            not self._closed_a_prefix_max
-            or cluster.max_inv >= self._closed_a_prefix_max[-1]
-        ):
-            self._closed_a_prefix_max.append(cluster.max_inv)
-        else:
-            self._rebuild_prefix_max(start=index)
+    def _reopen(self, cid: int) -> None:
+        """A closed cluster received a late event: pull it back.
 
-    def _rebuild_prefix_max(self, start: int = 0) -> None:
-        running = self._closed_a_prefix_max[start - 1] if start > 0 else -math.inf
-        del self._closed_a_prefix_max[start:]
-        for a in self._closed_a[start:]:
-            running = max(running, a)
-            self._closed_a_prefix_max.append(running)
-
-    def _reopen(self, key: bytes, cluster: _Cluster) -> None:
-        """A closed cluster received a late event: pull it back and rebuild."""
+        Pure bookkeeping — the interval table holds open and closed
+        clusters alike, so no structural surgery (and no stale-entry
+        hazard) is involved.
+        """
         self.reopened_clusters += 1
-        cluster.closed = False
-        if cluster.min_resp != math.inf:
-            index = bisect.bisect_left(self._closed_b, cluster.min_resp)
-            while index < len(self._closed_b):
-                if self._closed_ids[index] == cluster.write_id:
-                    del self._closed_b[index]
-                    del self._closed_a[index]
-                    del self._closed_ids[index]
-                    self._rebuild_prefix_max(start=index)
-                    break
-                if self._closed_b[index] != cluster.min_resp:
-                    break  # not in the staircase (should not happen)
-                index += 1
-        self._open(key)
+        self._is_closed[cid] = False
+        self._open(cid)
 
     def _update(
         self,
-        key: bytes,
-        cluster: _Cluster,
+        cid: int,
         *,
         new_inv: Optional[float] = None,
         new_resp: Optional[float] = None,
     ) -> None:
-        if cluster.closed:
-            self._reopen(key, cluster)
+        if self._is_closed[cid]:
+            self._reopen(cid)
         else:
-            self._open(key)  # refresh LRU position
-        if new_inv is not None:
-            cluster.max_inv = max(cluster.max_inv, new_inv)
-        if new_resp is not None:
-            cluster.min_resp = min(cluster.min_resp, new_resp)
-        self._check_crossings(cluster)
+            self._open(cid)  # refresh LRU position
+        if new_inv is not None and new_inv > self._max_inv[cid]:
+            self._max_inv[cid] = new_inv
+            self._note_a_growth(cid)
+        if new_resp is not None and new_resp < self._min_resp[cid]:
+            self._min_resp[cid] = new_resp
+            self._note_b_drop(cid)
+        self._check_crossings(cid)
+
+    # ------------------------------------------------------------------
+    # interval-table maintenance
+    # ------------------------------------------------------------------
+    def _table_insert(self, cid: int) -> None:
+        """Give a cluster whose ``b`` just became finite its table slot."""
+        tb = self._tb
+        b = self._min_resp[cid]
+        a = self._max_inv[cid]
+        size = len(tb)
+        if size == 0 or b >= tb[-1]:
+            # Tail append — the only path a time-ordered stream takes.
+            tb.append(b)
+            self._ta.append(a)
+            self._tcid.append(cid)
+            self._pos[cid] = size
+            if size == 0:
+                self._pm1.append(a)
+                self._pa1.append(cid)
+                self._pm2.append(_NEG_INF)
+            else:
+                m1 = self._pm1[-1]
+                if a > m1:
+                    self._pm1.append(a)
+                    self._pa1.append(cid)
+                    self._pm2.append(m1)
+                else:
+                    self._pm1.append(m1)
+                    self._pa1.append(self._pa1[-1])
+                    self._pm2.append(a if a > self._pm2[-1] else self._pm2[-1])
+            return
+        # Out-of-order feed: mid-table insert, shift the tail's slots.
+        index = bisect_left(tb, b)
+        tb.insert(index, b)
+        self._ta.insert(index, a)
+        self._tcid.insert(index, cid)
+        pos = self._pos
+        for shifted in self._tcid[index + 1 :]:
+            pos[shifted] += 1
+        pos[cid] = index
+        self._recompute_prefix(index)
+
+    def _table_remove(self, cid: int) -> None:
+        index = self._pos[cid]
+        if index < 0 or self._tcid[index] != cid:
+            # A stale position would make the deletes below silently evict
+            # some *other* cluster's interval — the failure mode the old
+            # closed-staircase `_reopen` could only `break` past.  Refuse
+            # loudly instead of corrupting the table.
+            raise RuntimeError(
+                f"interval-table slot for cluster {cid} is stale "
+                f"(pos={index}); the checker's index invariant is broken"
+            )
+        del self._tb[index]
+        del self._ta[index]
+        del self._tcid[index]
+        pos = self._pos
+        for shifted in self._tcid[index:]:
+            pos[shifted] -= 1
+        pos[cid] = -1
+        self._dirty.pop(cid, None)
+        del self._pm1[index:]
+        del self._pa1[index:]
+        del self._pm2[index:]
+        self._recompute_prefix(index)
+
+    def _note_b_drop(self, cid: int) -> None:
+        """``min_resp`` decreased: insert into (or move within) the table."""
+        if self._pos[cid] < 0:
+            self._table_insert(cid)
+        else:
+            # A response earlier than the recorded minimum can only arrive
+            # from an out-of-order direct feed; relocate the slot.
+            self._table_remove(cid)
+            self._table_insert(cid)
+
+    def _note_a_growth(self, cid: int) -> None:
+        """``max_inv`` grew: refresh the prefix in place near the tail,
+        otherwise park the cid in the dirty overlay."""
+        index = self._pos[cid]
+        if index < 0 or cid in self._dirty:
+            return
+        if len(self._tb) - index <= _EAGER_TAIL:
+            self._ta[index] = self._max_inv[cid]
+            self._recompute_prefix(index)
+        else:
+            self._dirty[cid] = None
+            if len(self._dirty) > _DIRTY_LIMIT:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Fold the dirty overlay's current ``a`` values back into the
+        table snapshot and refresh the prefix once from the lowest slot."""
+        if not self._dirty:
+            return
+        lowest = len(self._tb)
+        for cid in self._dirty:
+            index = self._pos[cid]
+            self._ta[index] = self._max_inv[cid]
+            if index < lowest:
+                lowest = index
+        self._dirty.clear()
+        self._recompute_prefix(lowest)
+
+    def _recompute_prefix(self, start: int) -> None:
+        """Rebuild the top-2 prefix max of ``_ta`` from ``start`` on."""
+        if start > 0:
+            m1 = self._pm1[start - 1]
+            c1 = self._pa1[start - 1]
+            m2 = self._pm2[start - 1]
+        else:
+            m1 = _NEG_INF
+            c1 = -1
+            m2 = _NEG_INF
+        ta = self._ta
+        tcid = self._tcid
+        pm1 = self._pm1
+        pa1 = self._pa1
+        pm2 = self._pm2
+        del pm1[start:]
+        del pa1[start:]
+        del pm2[start:]
+        for index in range(start, len(ta)):
+            a = ta[index]
+            if a > m1:
+                m2 = m1
+                m1 = a
+                c1 = tcid[index]
+            elif a > m2:
+                m2 = a
+            pm1.append(m1)
+            pa1.append(c1)
+            pm2.append(m2)
 
     # ------------------------------------------------------------------
     # the pairwise crossing test
     # ------------------------------------------------------------------
-    def _check_crossings(self, cluster: _Cluster) -> None:
-        """Flag if any other cluster crosses ``cluster``: b' < a and b < a'."""
-        if cluster.min_resp == math.inf:
+    def _check_crossings(self, cid: int) -> None:
+        """Flag if any other cluster crosses ``cid``: b' < a and b < a'."""
+        b = self._min_resp[cid]
+        if b == _INF:
             return  # no member responded yet: cannot cross anything
-        # Frontier clusters: direct scan (bounded by frontier_limit).
-        for other_key in self._frontier:
-            other = self._clusters[other_key]
-            if other is cluster:
+        if self._deferred is not None:
+            self._deferred[cid] = None
+            return
+        a = self._max_inv[cid]
+        # Fast existence test: the b-sorted table answers "is there another
+        # cluster with b' < a whose (snapshot) a' exceeds b" in O(log n);
+        # the top-2 prefix excludes cid's own slot.  Snapshot a-values are
+        # lower bounds, so a hit is always real; anything the snapshot
+        # understates sits in the dirty overlay and is scanned with current
+        # values.  On clean histories both probes miss and this is the
+        # whole test.
+        index = bisect_left(self._tb, a)
+        if index:
+            last = index - 1
+            best = (
+                self._pm1[last] if self._pa1[last] != cid else self._pm2[last]
+            )
+            if best > b:
+                self._flag_crossing(cid)
+                return
+        if self._dirty:
+            min_resp = self._min_resp
+            max_inv = self._max_inv
+            for other in self._dirty:
+                if other != cid and min_resp[other] < a and max_inv[other] > b:
+                    self._flag_crossing(cid)
+                    return
+
+    def _flag_crossing(self, cid: int) -> None:
+        """A crossing exists; name the partner exactly as the legacy
+        two-tier test did: scan the LRU frontier first (naming both write
+        ids, first match in LRU order), else attribute it to a retired
+        write."""
+        a = self._max_inv[cid]
+        b = self._min_resp[cid]
+        min_resp = self._min_resp
+        max_inv = self._max_inv
+        for other in self._frontier:
+            if other == cid:
                 continue
-            if other.min_resp < cluster.max_inv and cluster.min_resp < other.max_inv:
+            if min_resp[other] < a and b < max_inv[other]:
                 self._flag(
                     Violation(
                         "cluster-cycle",
-                        f"operations around write {cluster.write_id} and write "
-                        f"{other.write_id} mutually precede each other; no "
+                        f"operations around write {self._write_id[cid]} and write "
+                        f"{self._write_id[other]} mutually precede each other; no "
                         f"linearisation can order their blocks",
-                        (cluster.write_id, other.write_id),
+                        (self._write_id[cid], self._write_id[other]),
                     )
                 )
                 return
-        # Closed clusters: max a among those with b < a(cluster).
-        index = bisect.bisect_left(self._closed_b, cluster.max_inv)
-        if index > 0 and self._closed_a_prefix_max[index - 1] > cluster.min_resp:
-            self._flag(
-                Violation(
-                    "cluster-cycle",
-                    f"operations around write {cluster.write_id} and an "
-                    f"earlier retired write mutually precede each other; no "
-                    f"linearisation can order their blocks",
-                    (cluster.write_id,),
-                )
+        self._flag(
+            Violation(
+                "cluster-cycle",
+                f"operations around write {self._write_id[cid]} and an "
+                f"earlier retired write mutually precede each other; no "
+                f"linearisation can order their blocks",
+                (self._write_id[cid],),
             )
+        )
+
+    # ------------------------------------------------------------------
+    # self-checks (tests only)
+    # ------------------------------------------------------------------
+    def _audit(self) -> None:
+        """Validate every internal invariant (slow; used by tests)."""
+        # every responded cluster owns exactly one consistent table slot
+        for key, cid in self._cid_of.items():
+            if self._min_resp[cid] == _INF:
+                assert self._pos[cid] == -1, (key, cid)
+            else:
+                index = self._pos[cid]
+                assert 0 <= index < len(self._tb), (key, cid, index)
+                assert self._tcid[index] == cid
+                assert self._tb[index] == self._min_resp[cid]
+                if cid in self._dirty:
+                    assert self._ta[index] <= self._max_inv[cid]
+                else:
+                    assert self._ta[index] == self._max_inv[cid]
+        assert len(self._tb) == len(self._ta) == len(self._tcid)
+        assert len(self._tb) == len(self._pm1) == len(self._pa1) == len(self._pm2)
+        assert all(
+            self._tb[i] <= self._tb[i + 1] for i in range(len(self._tb) - 1)
+        )
+        # the top-2 prefix values match a from-scratch recomputation, and
+        # the recorded argmax is *an* entry attaining the max (ties — and
+        # the -inf seed — may legitimately record different owners than a
+        # from-scratch pass; the query only needs some attaining owner)
+        m1, m2 = _NEG_INF, _NEG_INF
+        for i, a in enumerate(self._ta):
+            if a > m1:
+                m2, m1 = m1, a
+            elif a > m2:
+                m2 = a
+            assert self._pm1[i] == m1 and self._pm2[i] == m2, i
+            owner = self._pa1[i]
+            if owner != -1:
+                index = self._pos[owner]
+                assert 0 <= index <= i and self._ta[index] == m1, i
+            else:
+                assert m1 == _NEG_INF, i
+        # frontier holds exactly the open clusters
+        for cid in self._frontier:
+            assert not self._is_closed[cid]
+        open_cids = {
+            cid for cid in range(len(self._write_id)) if not self._is_closed[cid]
+        }
+        assert set(self._frontier) == open_cids
 
 
 @dataclass(frozen=True)

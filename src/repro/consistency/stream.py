@@ -239,7 +239,9 @@ class StreamingRecorder(HistorySink):
         if record.op_id in self._active or record.op_id in self._retired:
             raise ValueError(f"duplicate operation id {record.op_id!r}")
         self._active[record.op_id] = record
-        self._note_resident()
+        resident = len(self._active) + len(self._retired)
+        if resident > self.max_resident:
+            self.max_resident = resident
 
     def _lookup(self, op_id: str) -> Optional[OperationRecord]:
         record = self._active.get(op_id)
@@ -253,10 +255,9 @@ class StreamingRecorder(HistorySink):
         while len(self._retired) > self.window:
             self._retired.popitem(last=False)
             self.evicted_count += 1
-        self._note_resident()
-
-    def _note_resident(self) -> None:
-        self.max_resident = max(self.max_resident, self.resident_count)
+        resident = len(self._active) + len(self._retired)
+        if resident > self.max_resident:
+            self.max_resident = resident
 
     # -- introspection ---------------------------------------------------
     @property
@@ -269,3 +270,91 @@ class StreamingRecorder(HistorySink):
 
     def __len__(self) -> int:
         return self.invoked_count
+
+
+def iter_observers(sink: HistorySink) -> tuple:
+    """The sink's subscribed observers, as an immutable snapshot.
+
+    The observer list is sink-private; runtime layers that need to
+    introspect it — e.g. :class:`~repro.runtime.cluster.RegisterCluster`
+    binding unbound :class:`CheckerBatcher`\\ s to its simulation — go
+    through this helper instead of reaching into ``_observers``, keeping
+    the :class:`HistorySink` interface itself unchanged.
+    """
+    return tuple(sink._observers)
+
+
+class CheckerBatcher(StreamObserver):
+    """Drain-batched observer shim in front of an incremental checker.
+
+    Mirrors the :class:`~repro.erasure.batch.ReadDecodeBatcher` pattern:
+    the first event recorded during an event-loop drain opens a checker
+    batch (:meth:`~repro.consistency.incremental.IncrementalAtomicityChecker.begin_batch`)
+    and arms a single deferred flush via the simulation's micro-task hook;
+    when the drain ends the flush closes the batch, running one crossing
+    test per cluster touched instead of one per record.  The checker's
+    monotone summaries make this verdict-identical to per-record checking
+    (see the batching notes in :mod:`repro.consistency.incremental`).
+
+    A batcher starts *unbound* and is a pure pass-through (per-record
+    checking) until :meth:`bind` hands it a ``defer`` callable — a
+    :class:`~repro.runtime.cluster.RegisterCluster` binds any unbound
+    batchers it finds among its recorder's observers at construction, so
+    callers can subscribe the batcher before the simulation exists::
+
+        recorder = StreamingRecorder(window=256)
+        batcher = recorder.subscribe(CheckerBatcher(checker))
+        cluster = make_cluster(..., recorder=recorder)   # binds batcher
+    """
+
+    def __init__(self, checker) -> None:
+        self.checker = checker
+        self._defer = None
+        self._armed = False
+        #: Completed drain-batches (diagnostics, mirrors ReadDecodeBatcher).
+        self.flushes = 0
+
+    @property
+    def bound(self) -> bool:
+        return self._defer is not None
+
+    def bind(self, defer) -> None:
+        """Attach the per-drain micro-task hook (idempotent for the same
+        hook; rebinding to a different simulation is a caller bug)."""
+        if self._defer is not None and self._defer is not defer:
+            raise RuntimeError("CheckerBatcher is already bound to a simulation")
+        self._defer = defer
+
+    def _arm(self) -> None:
+        self._armed = True
+        self.checker.begin_batch()
+        self._defer(self._flush)
+
+    def _flush(self) -> None:
+        if self._armed:
+            self._armed = False
+            self.checker.end_batch()
+            self.flushes += 1
+
+    def flush(self) -> None:
+        """Force any deferred crossing tests to run now.
+
+        Safe at any point (no-op when nothing is pending); callers export
+        verdicts only after this.  An already-armed micro-task that fires
+        later finds the batch closed and does nothing.
+        """
+        self._flush()
+
+    # -- observer callbacks: open a batch lazily, then forward ----------
+    def on_invoke(self, record: OperationRecord) -> None:
+        if self._defer is not None and not self._armed:
+            self._arm()
+        self.checker.on_invoke(record)
+
+    def on_complete(self, record: OperationRecord) -> None:
+        if self._defer is not None and not self._armed:
+            self._arm()
+        self.checker.on_complete(record)
+
+    def on_failed(self, record: OperationRecord) -> None:
+        self.checker.on_failed(record)

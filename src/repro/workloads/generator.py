@@ -26,6 +26,7 @@ requires.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -103,11 +104,23 @@ class WorkloadResult:
 
 
 def unique_value(writer_index: int, sequence: int, size: int, rng: np.random.Generator) -> bytes:
-    """A write value that is globally unique and has the requested size."""
+    """A write value that is globally unique and has the requested size.
+
+    Uniqueness is carried entirely by the header; the filler only pads the
+    value to ``size``, so it is derived by hashing the header rather than
+    drawn from ``rng`` — one digest is ~8x cheaper than materialising a
+    fresh ndarray of random bytes, which used to dominate streamed ingest.
+    (``rng`` stays in the signature for call-site stability; not drawing
+    from it means streams sample different — equally valid — schedules per
+    seed than earlier revisions did.)
+    """
     header = f"w{writer_index}#{sequence}|".encode()
-    if size <= len(header):
+    fill = size - len(header)
+    if fill <= 0:
         return header
-    filler = rng.integers(0, 256, size=size - len(header), dtype=np.uint8).tobytes()
+    filler = hashlib.blake2b(header, digest_size=min(fill, 64)).digest()
+    if fill > 64:
+        filler = (filler * (fill // 64 + 1))[:fill]
     return header + filler
 
 
@@ -229,22 +242,50 @@ def stream_operations(spec: StreamSpec, sink: HistorySink) -> StreamStats:
 
     INVOKE, APPLY, RESPOND, FAIL = 0, 1, 2, 3
     heap: List[tuple] = []  # (time, phase, sequence, payload)
+    heappush = heapq.heappush
+    heappop = heapq.heappop
     sequence = 0
 
-    def push(time: float, phase: int, payload: dict) -> None:
-        nonlocal sequence
-        heapq.heappush(heap, (time, phase, sequence, payload))
-        sequence += 1
+    # Scalar Generator draws cost microseconds each; at four draws per
+    # operation they dominate the loop, so draw in batches and hand out
+    # plain Python floats from pools.  (Pooling reorders the underlying
+    # bit stream relative to one-at-a-time draws, so a given seed samples
+    # a different — equally valid — schedule than earlier revisions.)
+    _POOL = 8192
+    _u_pool = rng.random(_POOL).tolist()
+    _u_i = 0
+    _e_pool = rng.standard_exponential(_POOL).tolist()
+    _e_i = 0
+
+    def _uniform() -> float:
+        nonlocal _u_pool, _u_i
+        if _u_i == _POOL:
+            _u_pool = rng.random(_POOL).tolist()
+            _u_i = 0
+        value = _u_pool[_u_i]
+        _u_i += 1
+        return value
+
+    def _exponential() -> float:
+        nonlocal _e_pool, _e_i
+        if _e_i == _POOL:
+            _e_pool = rng.standard_exponential(_POOL).tolist()
+            _e_i = 0
+        value = _e_pool[_e_i]
+        _e_i += 1
+        return value
 
     planned = [0]
 
     def plan_op(client: int, not_before: float) -> None:
         """Plan one client operation: its invoke drives the rest."""
+        nonlocal sequence
         if planned[0] >= spec.operations:
             return
         planned[0] += 1
-        inv = not_before + float(rng.exponential(spec.mean_gap))
-        push(inv, INVOKE, {"client": client})
+        inv = not_before + _exponential() * spec.mean_gap
+        heappush(heap, (inv, INVOKE, sequence, {"client": client}))
+        sequence += 1
 
     register = {"value": b""}
     write_sequence = [0]
@@ -261,26 +302,35 @@ def stream_operations(spec: StreamSpec, sink: HistorySink) -> StreamStats:
     completed_writes: Dict[bytes, float] = {}  # value -> responded_at
     last_applied_write: List[Optional[bytes]] = [None]
 
+    sink_invoke = sink.invoke
+    sink_respond = sink.respond
+    read_fraction = spec.read_fraction
+    mean_duration = spec.mean_duration
+    incomplete_fraction = spec.incomplete_fraction
+    value_size = spec.value_size
+
     while heap:
-        time, phase, _, payload = heapq.heappop(heap)
-        stats.end_time = max(stats.end_time, time)
+        time, phase, _, payload = heappop(heap)
+        # pops come out in nondecreasing time order, so the running max is
+        # just the last popped time
+        stats.end_time = time
         if phase == INVOKE:
             client = payload["client"]
             op_counter += 1
             op_id = f"c{client}#{op_counter}"
-            is_read = bool(rng.random() < spec.read_fraction)
-            duration = float(rng.exponential(spec.mean_duration)) + 1e-6
+            is_read = _uniform() < read_fraction
+            duration = _exponential() * mean_duration + 1e-6
             resp = time + duration
-            lin = time + float(rng.uniform(0.0, duration))
-            incomplete = bool(rng.random() < spec.incomplete_fraction)
+            lin = time + _uniform() * duration
+            incomplete = _uniform() < incomplete_fraction
             if is_read:
-                sink.invoke(op_id, READ, f"c{client}", time)
+                sink_invoke(op_id, READ, f"c{client}", time)
                 stats.reads += 1
                 op = {"op_id": op_id, "kind": READ, "inv": time, "resp": resp}
             else:
-                value = unique_value(client, write_sequence[0], spec.value_size, rng)
+                value = unique_value(client, write_sequence[0], value_size, rng)
                 write_sequence[0] += 1
-                sink.invoke(op_id, WRITE, f"c{client}", time, value=value)
+                sink_invoke(op_id, WRITE, f"c{client}", time, value=value)
                 stats.writes += 1
                 op = {
                     "op_id": op_id,
@@ -290,19 +340,22 @@ def stream_operations(spec: StreamSpec, sink: HistorySink) -> StreamStats:
                     "value": value,
                 }
             stats.invoked += 1
-            push(lin, APPLY, {"op": op})
+            heappush(heap, (lin, APPLY, sequence, {"op": op}))
+            sequence += 1
             if not incomplete:
-                push(resp, RESPOND, {"op": op})
+                heappush(heap, (resp, RESPOND, sequence, {"op": op}))
+                sequence += 1
                 plan_op(client, resp)
             else:
                 # The crashed client issues nothing more (well-formedness);
                 # marking the abandoned operation failed at its crash time
                 # lets windowed sinks retire the record, and a fresh client
                 # takes its place to keep the concurrency level.
-                push(resp, FAIL, {"op": op})
+                heappush(heap, (resp, FAIL, sequence, {"op": op}))
+                sequence += 1
                 replacement = client_counter[0]
                 client_counter[0] += 1
-                plan_op(replacement, time + float(rng.exponential(spec.mean_duration)))
+                plan_op(replacement, time + _exponential() * mean_duration)
         elif phase == APPLY:
             op = payload["op"]
             if op["kind"] == WRITE:
@@ -324,7 +377,7 @@ def stream_operations(spec: StreamSpec, sink: HistorySink) -> StreamStats:
         else:  # RESPOND
             op = payload["op"]
             if op["kind"] == WRITE:
-                sink.respond(op["op_id"], op["resp"])
+                sink_respond(op["op_id"], op["resp"])
                 completed_writes[op["value"]] = op["resp"]
                 if len(completed_writes) > 64:
                     completed_writes.pop(next(iter(completed_writes)))
@@ -333,7 +386,7 @@ def stream_operations(spec: StreamSpec, sink: HistorySink) -> StreamStats:
                     stale_candidates.append(overwrote)
                     del stale_candidates[:-4]
             else:
-                sink.respond(op["op_id"], op["resp"], value=op.get("result", b""))
+                sink_respond(op["op_id"], op["resp"], value=op.get("result", b""))
             stats.completed += 1
 
     # Seeded violations: one extra read invoked after quiescence.

@@ -1,0 +1,374 @@
+"""The pre-flat-core incremental checker, preserved as a fuzz reference.
+
+This is the PR 5 implementation of :class:`IncrementalAtomicityChecker`
+verbatim (per-cluster ``_Cluster`` objects, OrderedDict-style LRU frontier,
+closed-staircase arrays with full-tail prefix-max rebuilds), renamed to
+:class:`ReferenceAtomicityChecker`.  The production checker in
+:mod:`repro.consistency.incremental` now keeps its cluster state in flat
+parallel arrays and answers the crossing test from a single sorted interval
+table; the differential fuzz suite replays every generated history through
+both and asserts identical verdicts, identical violation lists and
+identical canonical summary exports — the strongest practical evidence the
+flat core is a pure representation change.
+
+One deliberate divergence: the old ``_reopen`` removal fallback silently
+``break``-ed when a cluster's id was missing from its ``min_resp`` run of
+the staircase, leaving a stale entry behind.  The flat core removed the
+staircase surgery entirely (reopening is a pure frontier-bookkeeping
+event), so the bug class is structurally gone; the reference keeps the old
+code path so the regression test can document the equivalence on
+reopen-after-duplicate-``min_resp`` histories.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.consistency.incremental import (
+    ClusterSummary,
+    IncrementalCheckResult,
+    Violation,
+    _value_key,
+)
+from repro.consistency.stream import WRITE, OperationRecord, StreamObserver
+
+
+@dataclass
+class _Cluster:
+    """Summary of one write and the reads that returned its value."""
+
+    write_id: str
+    max_inv: float
+    min_resp: float
+    write_invoked: float
+    closed: bool = False
+    has_write: bool = True
+    min_read_resp: float = math.inf
+    reads: int = 0
+    first_read_inv: float = math.inf
+    first_read_id: Optional[str] = None
+
+    def note_read(self, record: OperationRecord) -> None:
+        self.reads += 1
+        if record.responded_at is not None:
+            self.min_read_resp = min(self.min_read_resp, record.responded_at)
+        if (record.invoked_at, record.op_id) < (
+            self.first_read_inv,
+            self.first_read_id or "",
+        ):
+            self.first_read_inv = record.invoked_at
+            self.first_read_id = record.op_id
+
+
+class ReferenceAtomicityChecker(StreamObserver):
+    """The PR 5 object-per-cluster checker, kept only for differential tests."""
+
+    def __init__(
+        self,
+        *,
+        initial_value: bytes = b"",
+        frontier_limit: int = 256,
+        max_violations: int = 16,
+        unknown_values: str = "flag",
+    ) -> None:
+        if frontier_limit < 1:
+            raise ValueError("frontier_limit must be positive")
+        if unknown_values not in ("flag", "defer"):
+            raise ValueError(
+                f"unknown_values must be 'flag' or 'defer', got {unknown_values!r}"
+            )
+        self.initial_value = initial_value
+        self.frontier_limit = frontier_limit
+        self.max_violations = max_violations
+        self.unknown_values = unknown_values
+        self.violations: List[Violation] = []
+        self.ops_seen = 0
+        self.reads_checked = 0
+        self.reopened_clusters = 0
+        self.duplicate_write_claims: List[Tuple[bytes, str, float]] = []
+
+        self._clusters: Dict[bytes, _Cluster] = {}
+        self._frontier: Dict[bytes, None] = {}
+        self._closed_b: List[float] = []
+        self._closed_a_prefix_max: List[float] = []
+        self._closed_a: List[float] = []
+        self._closed_ids: List[str] = []
+
+        initial = _Cluster(
+            write_id="<initial>",
+            max_inv=-math.inf,
+            min_resp=-math.inf,
+            write_invoked=-math.inf,
+        )
+        self._initial_key = _value_key(initial_value)
+        self._clusters[self._initial_key] = initial
+        self._frontier[self._initial_key] = None
+
+    # ------------------------------------------------------------------
+    # StreamObserver interface
+    # ------------------------------------------------------------------
+    def on_invoke(self, record: OperationRecord) -> None:
+        self.ops_seen += 1
+        if record.kind != WRITE:
+            return
+        key = _value_key(record.value)
+        existing = self._clusters.get(key)
+        if existing is not None:
+            if existing.has_write:
+                self.duplicate_write_claims.append(
+                    (key, record.op_id, record.invoked_at)
+                )
+                self._flag(
+                    Violation(
+                        "duplicate-write-value",
+                        f"write {record.op_id} repeats a previously written value; "
+                        f"the register checker requires pairwise distinct writes",
+                        (record.op_id,),
+                    )
+                )
+                return
+            if existing.closed:
+                self._reopen(key, existing)
+            else:
+                self._open(key)
+            existing.write_id = record.op_id
+            existing.has_write = True
+            existing.write_invoked = record.invoked_at
+            existing.max_inv = max(existing.max_inv, record.invoked_at)
+            if existing.min_read_resp < record.invoked_at:
+                self._flag(
+                    Violation(
+                        "read-from-future",
+                        f"read {existing.first_read_id} responded before its "
+                        f"write {record.op_id} was invoked",
+                        (existing.first_read_id or "?", record.op_id),
+                    )
+                )
+                return
+            self._check_crossings(existing)
+            return
+        cluster = _Cluster(
+            write_id=record.op_id,
+            max_inv=record.invoked_at,
+            min_resp=math.inf,
+            write_invoked=record.invoked_at,
+        )
+        self._clusters[key] = cluster
+        self._open(key)
+
+    def on_complete(self, record: OperationRecord) -> None:
+        if record.kind == WRITE:
+            key = _value_key(record.value)
+            cluster = self._clusters.get(key)
+            if cluster is None or not cluster.has_write:
+                self.on_invoke(record)
+                cluster = self._clusters.get(key)
+            if cluster is None or cluster.write_id != record.op_id:
+                return
+            self._update(key, cluster, new_resp=record.responded_at)
+        else:
+            self.reads_checked += 1
+            key = _value_key(record.value)
+            cluster = self._clusters.get(key)
+            if cluster is None:
+                if self.unknown_values == "flag":
+                    self._flag(
+                        Violation(
+                            "unwritten-value",
+                            f"read {record.op_id} returned a value no observed "
+                            f"write produced (and not the initial value)",
+                            (record.op_id,),
+                        )
+                    )
+                    return
+                cluster = _Cluster(
+                    write_id=f"<unwritten:{record.op_id}>",
+                    max_inv=-math.inf,
+                    min_resp=math.inf,
+                    write_invoked=-math.inf,
+                    has_write=False,
+                )
+                self._clusters[key] = cluster
+                self._open(key)
+            if record.responded_at is not None and (
+                record.responded_at < cluster.write_invoked
+            ):
+                cluster.note_read(record)
+                self._flag(
+                    Violation(
+                        "read-from-future",
+                        f"read {record.op_id} responded before its write "
+                        f"{cluster.write_id} was invoked",
+                        (record.op_id, cluster.write_id),
+                    )
+                )
+                return
+            cluster.note_read(record)
+            self._update(
+                key,
+                cluster,
+                new_inv=record.invoked_at,
+                new_resp=record.responded_at,
+            )
+
+    observe_invoke = on_invoke
+    observe_complete = on_complete
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def result(self) -> IncrementalCheckResult:
+        return IncrementalCheckResult(
+            ok=self.ok,
+            violations=tuple(self.violations),
+            ops_seen=self.ops_seen,
+            reads_checked=self.reads_checked,
+            clusters=len(self._clusters),
+            frontier_size=len(self._frontier),
+        )
+
+    def cluster_summaries(self) -> List[ClusterSummary]:
+        rows = []
+        for key, cluster in self._clusters.items():
+            rows.append(
+                ClusterSummary(
+                    key=key,
+                    write_id=cluster.write_id,
+                    has_write=cluster.has_write,
+                    write_invoked=cluster.write_invoked,
+                    max_inv=cluster.max_inv,
+                    min_resp=cluster.min_resp,
+                    min_read_resp=cluster.min_read_resp,
+                    reads=cluster.reads,
+                    first_read_inv=cluster.first_read_inv,
+                    first_read_id=cluster.first_read_id,
+                    initial=key == self._initial_key
+                    and cluster.write_id == "<initial>",
+                )
+            )
+        rows.sort(key=lambda r: (r.key, r.write_id))
+        return rows
+
+    # ------------------------------------------------------------------
+    # cluster maintenance
+    # ------------------------------------------------------------------
+    def _flag(self, violation: Violation) -> None:
+        if len(self.violations) < self.max_violations:
+            self.violations.append(violation)
+
+    def _open(self, key: bytes) -> None:
+        self._frontier.pop(key, None)
+        self._frontier[key] = None
+        while len(self._frontier) > self.frontier_limit:
+            old_key = next(iter(self._frontier))
+            del self._frontier[old_key]
+            self._close(self._clusters[old_key])
+
+    def _close(self, cluster: _Cluster) -> None:
+        cluster.closed = True
+        if cluster.min_resp == math.inf:
+            return
+        index = bisect.bisect_left(self._closed_b, cluster.min_resp)
+        self._closed_b.insert(index, cluster.min_resp)
+        self._closed_a.insert(index, cluster.max_inv)
+        self._closed_ids.insert(index, cluster.write_id)
+        if index == len(self._closed_b) - 1 and (
+            not self._closed_a_prefix_max
+            or cluster.max_inv >= self._closed_a_prefix_max[-1]
+        ):
+            self._closed_a_prefix_max.append(cluster.max_inv)
+        else:
+            self._rebuild_prefix_max(start=index)
+
+    def _rebuild_prefix_max(self, start: int = 0) -> None:
+        running = self._closed_a_prefix_max[start - 1] if start > 0 else -math.inf
+        del self._closed_a_prefix_max[start:]
+        for a in self._closed_a[start:]:
+            running = max(running, a)
+            self._closed_a_prefix_max.append(running)
+
+    def _reopen(self, key: bytes, cluster: _Cluster) -> None:
+        self.reopened_clusters += 1
+        cluster.closed = False
+        if cluster.min_resp != math.inf:
+            index = bisect.bisect_left(self._closed_b, cluster.min_resp)
+            while index < len(self._closed_b) and (
+                self._closed_b[index] == cluster.min_resp
+            ):
+                if self._closed_ids[index] == cluster.write_id:
+                    del self._closed_b[index]
+                    del self._closed_a[index]
+                    del self._closed_ids[index]
+                    self._rebuild_prefix_max(start=index)
+                    break
+                index += 1
+            else:
+                # The id was not found within its min_resp run.  The
+                # historical code `break`-ed out here, silently leaving the
+                # cluster's stale entry in the staircase; raise instead so
+                # any such inconsistency fails a differential run loudly
+                # rather than skewing the comparison (the production flat
+                # core raises the analogous error in ``_table_remove``).
+                raise RuntimeError(
+                    f"closed-staircase entry for {cluster.write_id!r} "
+                    f"missing from its min_resp={cluster.min_resp} run"
+                )
+        self._open(key)
+
+    def _update(
+        self,
+        key: bytes,
+        cluster: _Cluster,
+        *,
+        new_inv: Optional[float] = None,
+        new_resp: Optional[float] = None,
+    ) -> None:
+        if cluster.closed:
+            self._reopen(key, cluster)
+        else:
+            self._open(key)
+        if new_inv is not None:
+            cluster.max_inv = max(cluster.max_inv, new_inv)
+        if new_resp is not None:
+            cluster.min_resp = min(cluster.min_resp, new_resp)
+        self._check_crossings(cluster)
+
+    # ------------------------------------------------------------------
+    # the pairwise crossing test
+    # ------------------------------------------------------------------
+    def _check_crossings(self, cluster: _Cluster) -> None:
+        if cluster.min_resp == math.inf:
+            return
+        for other_key in self._frontier:
+            other = self._clusters[other_key]
+            if other is cluster:
+                continue
+            if other.min_resp < cluster.max_inv and cluster.min_resp < other.max_inv:
+                self._flag(
+                    Violation(
+                        "cluster-cycle",
+                        f"operations around write {cluster.write_id} and write "
+                        f"{other.write_id} mutually precede each other; no "
+                        f"linearisation can order their blocks",
+                        (cluster.write_id, other.write_id),
+                    )
+                )
+                return
+        index = bisect.bisect_left(self._closed_b, cluster.max_inv)
+        if index > 0 and self._closed_a_prefix_max[index - 1] > cluster.min_resp:
+            self._flag(
+                Violation(
+                    "cluster-cycle",
+                    f"operations around write {cluster.write_id} and an "
+                    f"earlier retired write mutually precede each other; no "
+                    f"linearisation can order their blocks",
+                    (cluster.write_id,),
+                )
+            )

@@ -1,12 +1,19 @@
 """Property-based and differential fuzzing of the checker stack.
 
-Three independent deciders of register linearizability live in this
+Four independent deciders of register linearizability live in this
 repository: the exhaustive WGL search, the single-stream incremental
-checker, and the shard-merge path (per-shard incremental checkers in
-``defer`` mode reconciled by :func:`check_history_sharded`).  They share
-no code on their decision paths, so agreement on thousands of randomized
+checker (flat-array core), the shard-merge path (per-shard incremental
+checkers in ``defer`` mode reconciled by :func:`check_history_sharded`),
+and the retired pre-flat-core implementation kept verbatim as
+:class:`reference_incremental.ReferenceAtomicityChecker`.  They share no
+code on their decision paths, so agreement on thousands of randomized
 histories — clean, corrupted, and seeded with specific violation shapes —
-is strong evidence each is right.
+is strong evidence each is right.  Against the reference the suite
+demands more than verdict agreement: the flat core must be
+*byte-identical* in violations, cluster summaries, reopen counts and
+duplicate-write claims, and a batch-bracketed flat checker must export
+the same summaries (batching may legally merge per-op violation reports,
+so only its verdict and exports are pinned).
 
 The generator produces histories that are linearizable by construction
 (operations take effect at sampled linearization points), then optionally
@@ -25,8 +32,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from reference_incremental import ReferenceAtomicityChecker
+
 from repro.consistency.history import READ, WRITE, History
-from repro.consistency.incremental import check_history_incrementally
+from repro.consistency.incremental import (
+    IncrementalAtomicityChecker,
+    check_history_incrementally,
+    replay_operations,
+)
 from repro.consistency.shardmerge import check_history_sharded
 from repro.consistency.wgl import check_linearizability
 
@@ -122,13 +135,48 @@ def build_history(
     return history
 
 
+def checker_export(checker):
+    """Everything a checker decides, as one comparable tuple."""
+    return (
+        checker.ok,
+        tuple(checker.violations),
+        tuple(checker.duplicate_write_claims),
+        checker.reopened_clusters,
+        tuple(checker.cluster_summaries()),
+    )
+
+
 def verdicts(history):
-    """(wgl, incremental, sharded ...) verdicts; wgl None if inapplicable."""
+    """(wgl, incremental, sharded ...) verdicts; wgl None if inapplicable.
+
+    En route, differentially replays the history through the retired
+    reference checker (byte-identical export required) and through a
+    batch-bracketed flat checker (verdict and summaries required — batch
+    boundaries may legally merge violation reports).
+    """
     try:
         wgl = bool(check_linearizability(history, initial_value=b""))
     except ValueError:
         wgl = None  # duplicate write values: outside WGL's contract
-    incremental = bool(check_history_incrementally(history, initial_value=b""))
+    flat = replay_operations(
+        IncrementalAtomicityChecker(), history.operations()
+    )
+    incremental = bool(flat.result())
+
+    reference = replay_operations(
+        ReferenceAtomicityChecker(), history.operations()
+    )
+    assert checker_export(reference) == checker_export(flat)
+
+    batched = IncrementalAtomicityChecker()
+    batched.begin_batch()
+    replay_operations(batched, history.operations())
+    batched.end_batch()
+    assert batched.ok == flat.ok
+    assert batched.reopened_clusters == flat.reopened_clusters
+    assert tuple(batched.duplicate_write_claims) == tuple(flat.duplicate_write_claims)
+    assert tuple(batched.cluster_summaries()) == tuple(flat.cluster_summaries())
+
     sharded = [
         bool(check_history_sharded(history, shards=s, initial_value=b""))
         for s in SHARD_COUNTS
@@ -189,6 +237,117 @@ class TestDifferentialFuzz:
         against WGL, the incremental checker and three shard counts."""
         total = 700 + 300 + 500 + 300 + 200
         assert total >= 2000
+
+
+class TestFlatCoreDifferential:
+    """Stress the flat core's interesting regimes against the reference.
+
+    The default-configuration comparison rides inside :func:`verdicts`
+    on every fuzz case above; this class forces the paths that a
+    256-cluster frontier never reaches on small histories — cluster
+    closure and reopening (tiny frontier limits), the dirty-overlay /
+    compaction machinery (tiny ``_EAGER_TAIL`` / ``_DIRTY_LIMIT``), and
+    the mid-table insert fallback (events fed out of stream order) —
+    and additionally runs the core's internal invariant audit.
+    """
+
+    @pytest.mark.parametrize("frontier_limit", [2, 4])
+    @pytest.mark.parametrize(
+        "inject", [None, "phantom", "swap", "future", "duplicate"]
+    )
+    def test_tiny_frontiers_match_reference(self, inject, frontier_limit):
+        cases = 60 * FUZZ_FACTOR
+        rng = np.random.default_rng(
+            fuzz_seed(f"flatcore-{inject}-{frontier_limit}")
+        )
+        for trial in range(cases):
+            history = build_history(
+                rng,
+                clients=int(rng.integers(2, 5)),
+                ops_per_client=int(rng.integers(3, 7)),
+                write_fraction=float(rng.uniform(0.3, 0.7)),
+                incomplete_fraction=float(rng.choice([0.0, 0.1])),
+                inject=inject,
+            )
+            flat = replay_operations(
+                IncrementalAtomicityChecker(frontier_limit=frontier_limit),
+                history.operations(),
+            )
+            flat._audit()
+            reference = replay_operations(
+                ReferenceAtomicityChecker(frontier_limit=frontier_limit),
+                history.operations(),
+            )
+            assert checker_export(reference) == checker_export(flat), (
+                f"{inject} trial {trial} frontier={frontier_limit}"
+            )
+
+    def test_tight_overlay_thresholds_match_reference(self, monkeypatch):
+        """Force the dirty-overlay and compaction paths on every a-growth
+        by shrinking the eager-tail window to one slot."""
+        import repro.consistency.incremental as incremental_module
+
+        monkeypatch.setattr(incremental_module, "_EAGER_TAIL", 1)
+        monkeypatch.setattr(incremental_module, "_DIRTY_LIMIT", 2)
+        cases = 120 * FUZZ_FACTOR
+        rng = np.random.default_rng(fuzz_seed("flatcore-overlay"))
+        for trial in range(cases):
+            inject = rng.choice([None, "swap", "phantom"])
+            history = build_history(rng, inject=inject)
+            flat = replay_operations(
+                IncrementalAtomicityChecker(frontier_limit=4),
+                history.operations(),
+            )
+            flat._audit()
+            reference = replay_operations(
+                ReferenceAtomicityChecker(frontier_limit=4),
+                history.operations(),
+            )
+            assert checker_export(reference) == checker_export(flat), (
+                f"{inject} trial {trial}"
+            )
+
+    def test_scrambled_event_order_matches_reference(self):
+        """Out-of-stream-order feeds hit the mid-table insert fallback:
+        the interval table must stay sorted (audited) and the exports must
+        still match the reference fed the same scrambled sequence."""
+        cases = 80 * FUZZ_FACTOR
+        rng = np.random.default_rng(fuzz_seed("flatcore-scrambled"))
+        for trial in range(cases):
+            inject = rng.choice([None, "swap", "future"])
+            history = build_history(rng, inject=inject)
+            events = []
+            for op in history.operations():
+                events.append((0, op))
+                if op.is_complete:
+                    events.append((1, op))
+            # Random order, except each op still invokes before completing.
+            order = rng.permutation(len(events))
+            scrambled, pending = [], {}
+            for position in order:
+                phase, op = events[position]
+                if phase == 0:
+                    scrambled.append((0, op))
+                    if op.op_id in pending:
+                        scrambled.append(pending.pop(op.op_id))
+                elif any(e[1] is op for e in scrambled):
+                    scrambled.append((1, op))
+                else:
+                    pending[op.op_id] = (1, op)
+            checkers = (
+                IncrementalAtomicityChecker(frontier_limit=3),
+                ReferenceAtomicityChecker(frontier_limit=3),
+            )
+            for checker in checkers:
+                for phase, op in scrambled:
+                    if phase == 0:
+                        checker.on_invoke(op)
+                    else:
+                        checker.on_complete(op)
+            checkers[0]._audit()
+            assert checker_export(checkers[1]) == checker_export(checkers[0]), (
+                f"{inject} trial {trial}"
+            )
 
 
 ops_strategy = st.lists(
@@ -255,3 +414,72 @@ class TestHypothesisProperties:
             bool(check_history_sharded(history, shards=shards, initial_value=b""))
             == reference
         )
+
+
+class TestParallelMuxDifferential:
+    """Worker-process mux checking on randomized per-object histories.
+
+    One spawn-heavy case (not per-history: worker startup would dominate):
+    every namespace object gets its own randomized history — some with
+    injected violations — and the canonical merged namespace verdict must
+    be identical for serial and worker-mode muxes of any worker count.
+    """
+
+    @staticmethod
+    def _replay(history, recorder):
+        events = []
+        for op in history.operations():
+            events.append((op.invoked_at, 0, op))
+            if op.is_complete:
+                events.append((op.responded_at, 1, op))
+        events.sort(key=lambda e: (e[0], e[1]))
+        for _, phase, op in events:
+            if phase == 0:
+                recorder.invoke(
+                    op.op_id,
+                    op.kind,
+                    op.client,
+                    op.invoked_at,
+                    value=op.value if op.kind == WRITE else None,
+                )
+            else:
+                recorder.respond(
+                    op.op_id,
+                    op.responded_at,
+                    value=op.value if op.kind == READ else None,
+                )
+
+    def test_worker_counts_agree_on_randomized_namespaces(self):
+        from repro.consistency.multiplex import ObjectCheckerMux
+        from repro.consistency.shardmerge import merge_namespace_verdicts
+
+        rng = np.random.default_rng(fuzz_seed("mux-parallel"))
+        rounds = 2 * FUZZ_FACTOR
+        objects = 6
+        for round_index in range(rounds):
+            histories = [
+                build_history(
+                    rng,
+                    clients=int(rng.integers(2, 4)),
+                    ops_per_client=int(rng.integers(3, 6)),
+                    inject=rng.choice([None, None, "phantom", "swap"]),
+                )
+                for _ in range(objects)
+            ]
+            merged = {}
+            per_object_ok = {}
+            for workers in (1, 2, 3):
+                mux = ObjectCheckerMux(objects, window=64, workers=workers)
+                for j, history in enumerate(histories):
+                    self._replay(history, mux.recorder(j))
+                mux.finish()
+                merged[workers] = merge_namespace_verdicts(
+                    [[v] for v in mux.shard_verdicts(0)]
+                ).to_jsonable()
+                per_object_ok[workers] = [
+                    mux.object_ok(j) for j in range(objects)
+                ]
+            assert per_object_ok[2] == per_object_ok[1], f"round {round_index}"
+            assert per_object_ok[3] == per_object_ok[1], f"round {round_index}"
+            assert merged[2] == merged[1], f"round {round_index}"
+            assert merged[3] == merged[1], f"round {round_index}"

@@ -251,3 +251,78 @@ class TestStreamingScale:
         stream_operations(StreamSpec(operations=120, clients=4, seed=37), history)
         assert checker.ok
         assert check_linearizability(history, initial_value=b"")
+
+
+class TestReopenAfterDuplicateMinResp:
+    """Regression shape for the retired closed-staircase `_reopen` bug.
+
+    Two clusters retire with *identical* ``min_resp`` (their staircase keys
+    collide), one of them reopens, and a later stale read must still be
+    caught against the other.  The old implementation removed staircase
+    entries by bisecting on ``min_resp`` and could silently leave a stale
+    entry when the id was not at the matching run; the flat-core table is
+    keyed by cluster id (``_pos``), so reopen does no structural surgery at
+    all — this test pins the correct behaviour on the exact shape that
+    made the old fallback dangerous.
+    """
+
+    @staticmethod
+    def _feed(checker):
+        from repro.consistency.stream import OperationRecord
+
+        def inv(op_id, kind, client, t, value=None):
+            checker.on_invoke(OperationRecord(
+                op_id=op_id, kind=kind, client=client, invoked_at=t, value=value
+            ))
+
+        def comp(op_id, kind, client, t0, t1, value=None):
+            checker.on_complete(OperationRecord(
+                op_id=op_id, kind=kind, client=client,
+                invoked_at=t0, responded_at=t1, value=value,
+            ))
+
+        inv("wA", WRITE, "w0", 0.0, b"A")
+        inv("wB", WRITE, "w1", 1.0, b"B")
+        inv("rA", READ, "r0", 2.0)
+        comp("wA", WRITE, "w0", 0.0, 10.0, b"A")
+        comp("wB", WRITE, "w1", 1.0, 10.0, b"B")  # same min_resp as wA
+        # Two more writes overflow the frontier: wA's and wB's clusters
+        # both retire carrying the duplicate min_resp = 10.0.
+        inv("wC", WRITE, "w2", 20.0, b"C")
+        comp("wC", WRITE, "w2", 20.0, 21.0, b"C")
+        inv("wD", WRITE, "w3", 22.0, b"D")
+        comp("wD", WRITE, "w3", 22.0, 23.0, b"D")
+        # Benign reopen of wA's cluster: the read was invoked back at t=2,
+        # so it crosses nothing — but it forces the duplicate-key removal.
+        comp("rA", READ, "r0", 2.0, 30.0, b"A")
+        # Stale read of wB *invoked after* wC/wD completed: reopens the
+        # second duplicate-key cluster and must flag the crossing.
+        inv("rB", READ, "r1", 50.0)
+        comp("rB", READ, "r1", 50.0, 60.0, b"B")
+        return checker
+
+    def test_crossing_caught_after_duplicate_key_reopens(self):
+        checker = self._feed(IncrementalAtomicityChecker(frontier_limit=2))
+        checker._audit()  # the interval table survived both reopens intact
+        assert checker.reopened_clusters == 2
+        assert not checker.ok
+        assert [v.kind for v in checker.violations] == ["cluster-cycle"]
+        assert "wB" in checker.violations[0].description
+
+    def test_byte_identical_to_reference_on_the_regression_shape(self):
+        from reference_incremental import ReferenceAtomicityChecker
+
+        flat = self._feed(IncrementalAtomicityChecker(frontier_limit=2))
+        reference = self._feed(ReferenceAtomicityChecker(frontier_limit=2))
+        assert tuple(reference.violations) == tuple(flat.violations)
+        assert reference.cluster_summaries() == flat.cluster_summaries()
+        assert reference.reopened_clusters == flat.reopened_clusters
+
+    def test_stale_table_slot_raises_instead_of_corrupting(self):
+        """The flat core refuses to operate on a stale id→slot mapping —
+        the loud replacement for the old silent `break` fallback."""
+        checker = self._feed(IncrementalAtomicityChecker(frontier_limit=2))
+        cid = next(iter(checker._cid_of.values()))
+        checker._pos[cid] = len(checker._tb) + 5  # simulate corruption
+        with pytest.raises((RuntimeError, IndexError), match=""):
+            checker._table_remove(cid)

@@ -1,6 +1,6 @@
 """Golden event-order determinism: the exact `(time, seq, label)` firing
-order of a fixed-seed SODA workload, recorded on the pre-overhaul
-simulation core (see tests/golden/README.md).
+order of a fixed-seed SODA workload, recorded from a known-good revision
+(see tests/golden/README.md for the fixture's provenance).
 
 Any change to heap ordering, `(time, seq)` tie-breaking, delay sampling
 (scalar vs. vectorized block draws) or the deferred decode batching would
