@@ -11,6 +11,7 @@ reproduction, including the errors-and-erasures decoder SODAerr relies on.
 import numpy as np
 import pytest
 
+from repro.erasure.batch import CachedDecoder, CachedEncoder, WriteEncodeBatcher
 from repro.erasure.mds import corrupt
 from repro.erasure.rs import ReedSolomonCode
 from repro.erasure.vandermonde import VandermondeCode
@@ -49,6 +50,64 @@ def test_error_decode_throughput(benchmark, n, k, e):
     received = [corrupt(el) if el.index < e else el for el in elements]
     decoded = benchmark(code.decode_with_errors, received, e)
     assert decoded == value
+
+
+def test_cached_encoder_stripe_throughput(benchmark):
+    """A skewed write batch through ``CachedEncoder.encode_many`` — repeats
+    hit the LRU, distinct values share one fused stripe encode.  The cache
+    counters land in ``extra_info`` so the benchmark report shows the
+    hit/miss split alongside the timing."""
+    code = ReedSolomonCode(10, 5)
+    encoder = CachedEncoder(code)
+    distinct = [_value(seed) for seed in range(8)]
+    batch = distinct + distinct[:4] + distinct[:4]  # 8 misses, 8 repeat hits
+    results = benchmark(encoder.encode_many, batch)
+    assert len(results) == len(batch)
+    benchmark.extra_info.update(encoder.stats())
+
+
+def test_write_batcher_flush_throughput(benchmark):
+    """One ``WriteEncodeBatcher`` drain flush: submissions from concurrent
+    writers collapsed into a single stripe encode, continuations run in
+    submission order.  Flush/submission counters go to ``extra_info``."""
+    code = ReedSolomonCode(10, 5)
+    encoder = CachedEncoder(code)
+    values = [_value(seed) for seed in range(16)]
+
+    def drain():
+        deferred = []
+        batcher = WriteEncodeBatcher(encoder, deferred.append)
+        done = []
+        for value in values:
+            batcher.submit(value, done.append)
+        while deferred:
+            deferred.pop(0)()
+        assert len(done) == len(values)
+        return batcher
+
+    batcher = benchmark(drain)
+    benchmark.extra_info.update(
+        {f"batcher_{key}": val for key, val in batcher.stats().items()}
+    )
+    benchmark.extra_info.update(
+        {f"encoder_{key}": val for key, val in encoder.stats().items()}
+    )
+
+
+def test_cached_decoder_repeat_throughput(benchmark):
+    """Concurrent reads of one version decode byte-identical element sets;
+    ``CachedDecoder`` memoizes them.  Counters land in ``extra_info``."""
+    code = ReedSolomonCode(10, 5)
+    decoder = CachedDecoder(code)
+    value = _value(4)
+    subset = code.encode(value)[5:]
+
+    def repeated_reads():
+        for _ in range(8):
+            assert decoder.decode("tag-1", subset) == value
+
+    benchmark(repeated_reads)
+    benchmark.extra_info.update(decoder.stats())
 
 
 def test_vandermonde_decode_comparison(benchmark):

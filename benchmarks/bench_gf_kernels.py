@@ -19,16 +19,27 @@ or through ``benchmarks/run_benchmarks.py`` to (re)generate the committed
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
 import numpy as np
 
-from repro.erasure.gf import GF256
+from repro.erasure.batch import CachedEncoder, WriteEncodeBatcher
+from repro.erasure.gf import GF256, available_backends
 from repro.erasure.rs import ReedSolomonCode
 
 #: Reference code parameters fixed by the acceptance criteria.
 N, K = 10, 5
 VALUE_SIZE = 64 * 1024
+#: Stripe width for the batched-encode rows: concurrent same-sized writes
+#: landing in one event-loop drain (namespace sweeps run 16+ writers).
+STRIPE_BATCH = 16
+#: Batched-writer row: distinct small values per cold-cache round, the
+#: closed-loop writer profile (unique timestamped payloads, cache miss-heavy).
+WRITER_OPS = 256
+WRITER_VALUE_SIZE = 64
+#: SODAerr reference geometry (n=10, f=2, e=2 => k = n - f - 2e = 4); reads
+#: decode from k + 2e = 8 elements with up to e = 2 silent corruptions.
+ERR_N, ERR_K, ERR_E = 10, 4, 2
 
 
 class SeedKernelField(GF256):
@@ -86,6 +97,21 @@ def _best_rate(fn: Callable[[], object], payload_bytes: int, repeats: int) -> fl
     return payload_bytes / best / 1e6
 
 
+def _best_ops(fn: Callable[[], object], ops: int, repeats: int) -> float:
+    """Best observed rate in operations/s over ``repeats`` timed runs.
+
+    Unlike :func:`_best_rate` there is no warm-up call: the batched-writer
+    round rebuilds its encoder each run precisely to measure the cold
+    (cache-miss) path, so a warm-up would only waste time.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return ops / best
+
+
 def bench_erasure(*, quick: bool = False, seed: int = 0) -> Dict[str, object]:
     """Measure encode/decode and raw-kernel throughput, seed vs. current.
 
@@ -134,6 +160,85 @@ def bench_erasure(*, quick: bool = False, seed: int = 0) -> Dict[str, object]:
         lambda: seed_field.mul_vec(a, b), VALUE_SIZE, repeats
     )
 
+    # ------------------------------------------------------------------
+    # per-backend kernel rows (PR 7): the same encode/decode measured on
+    # every GF backend buildable on this host, plus the stripe-at-a-time
+    # rows the new gates track.  The gated ``stripe_encode_mb_per_s`` is
+    # the max across backends — "the best this host can do".
+    # ------------------------------------------------------------------
+    backends = available_backends()
+    elements_check = fast_code.encode(value)
+    stripe_values = [
+        bytes(rng.integers(0, 256, VALUE_SIZE, dtype=np.uint8))
+        for _ in range(STRIPE_BATCH)
+    ]
+    stripe_bytes = STRIPE_BATCH * VALUE_SIZE
+    stripe_rates: List[float] = []
+    for backend in backends:
+        code = (
+            fast_code
+            if backend == "numpy"
+            else ReedSolomonCode(N, K, field=GF256(backend=backend))
+        )
+        if backend != "numpy":
+            assert code.encode(value) == elements_check
+            results[f"{backend}_encode_mb_per_s"] = _best_rate(
+                lambda c=code: c.encode(value), VALUE_SIZE, repeats
+            )
+            results[f"{backend}_decode_mb_per_s"] = _best_rate(
+                lambda c=code, s=subset: c.decode(s), VALUE_SIZE, repeats
+            )
+        rate = _best_rate(
+            lambda c=code: c.encode_many(stripe_values), stripe_bytes, repeats
+        )
+        results[f"{backend}_stripe_encode_mb_per_s"] = rate
+        stripe_rates.append(rate)
+    results["stripe_encode_mb_per_s"] = max(stripe_rates)
+    best_backend = backends[int(np.argmax(stripe_rates))]
+
+    # Batched-writer round: WRITER_OPS distinct values submitted to a
+    # WriteEncodeBatcher and flushed through one cold CachedEncoder —
+    # the closed-loop many-writer drain profile end to end (batcher
+    # bookkeeping + cache misses + one fused stripe encode).
+    writer_values = [
+        bytes(rng.integers(0, 256, WRITER_VALUE_SIZE, dtype=np.uint8))
+        for _ in range(WRITER_OPS)
+    ]
+    best_field = GF256(backend=best_backend)
+    writer_code = ReedSolomonCode(N, K, field=best_field)
+
+    def writer_round() -> None:
+        encoder = CachedEncoder(writer_code)
+        deferred: List[Callable[[], None]] = []
+        batcher = WriteEncodeBatcher(encoder, deferred.append)
+        done: List[object] = []
+        for val in writer_values:
+            batcher.submit(val, done.append)
+        while deferred:
+            deferred.pop(0)()
+        assert len(done) == WRITER_OPS and batcher.flushes == 1
+
+    results["batched_writer_ops_per_s"] = _best_ops(
+        writer_round, WRITER_OPS, repeats
+    )
+
+    # SODAerr errors-and-erasures decode: k + 2e elements, e of them
+    # silently corrupted, through the stripe-at-a-time fast path.
+    err_code = ReedSolomonCode(ERR_N, ERR_K, field=best_field)
+    err_elements = err_code.encode(value)[: ERR_K + 2 * ERR_E]
+    corrupted = [
+        type(el)(el.index, bytes([el.data[0] ^ 0xA5]) + el.data[1:])
+        if slot < ERR_E
+        else el
+        for slot, el in enumerate(err_elements)
+    ]
+    assert err_code.decode_with_errors(corrupted, max_errors=ERR_E) == value
+    results["sodaerr_error_decode_mb_per_s"] = _best_rate(
+        lambda: err_code.decode_with_errors(corrupted, max_errors=ERR_E),
+        VALUE_SIZE,
+        repeats,
+    )
+
     results["encode_speedup_vs_seed"] = (
         results["table_encode_mb_per_s"] / results["seed_encode_mb_per_s"]
     )
@@ -151,6 +256,14 @@ def bench_erasure(*, quick: bool = False, seed: int = 0) -> Dict[str, object]:
             "value_size_bytes": VALUE_SIZE,
             "repeats": repeats,
             "seed": seed,
+            "stripe_batch": STRIPE_BATCH,
+            "writer_ops": WRITER_OPS,
+            "writer_value_size_bytes": WRITER_VALUE_SIZE,
+            "sodaerr_n": ERR_N,
+            "sodaerr_k": ERR_K,
+            "sodaerr_e": ERR_E,
+            "backends": backends,
+            "best_backend": best_backend,
         },
         "results": results,
     }
@@ -158,9 +271,16 @@ def bench_erasure(*, quick: bool = False, seed: int = 0) -> Dict[str, object]:
 
 def main() -> None:
     payload = bench_erasure()
+    backends = ", ".join(payload["params"]["backends"])
     print(f"GF(2^8) kernels @ [n={N}, k={K}], {VALUE_SIZE // 1024} KiB values")
+    print(f"  backends available: {backends} (best: {payload['params']['best_backend']})")
     for key, val in payload["results"].items():
-        unit = "x" if key.endswith("_vs_seed") else " MB/s"
+        if key.endswith("_vs_seed"):
+            unit = "x"
+        elif key.endswith("_ops_per_s"):
+            unit = " ops/s"
+        else:
+            unit = " MB/s"
         print(f"  {key:36s} {val:10.2f}{unit}")
 
 

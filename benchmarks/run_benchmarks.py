@@ -101,6 +101,9 @@ GATED_METRICS = {
         "encode_speedup_vs_seed",
         "decode_speedup_vs_seed",
         "encode_decode_speedup_vs_seed",
+        "stripe_encode_mb_per_s",
+        "batched_writer_ops_per_s",
+        "sodaerr_error_decode_mb_per_s",
     ],
     "sim": [
         "events_per_s",
@@ -123,6 +126,16 @@ GATED_METRIC_FACTORS = {
     # which varies with host cold-start far more than pure compute does —
     # gate it, but at a looser threshold than the in-process rows.
     "multiobj_checked_ops_per_s": 3.0,
+    # The new erasure rows are raw wall-clock rates (unlike the
+    # machine-independent *_vs_seed ratios), and stripe_encode additionally
+    # takes the max over whatever GF backends build on the host.  A looser
+    # 3x threshold rides out committer-vs-CI host speed differences while
+    # still catching the failure modes these rows exist for: the native
+    # backend silently not building, or the stripe/batcher fast paths
+    # regressing to the per-value loop (both are order-of-magnitude drops).
+    "stripe_encode_mb_per_s": 3.0,
+    "batched_writer_ops_per_s": 3.0,
+    "sodaerr_error_decode_mb_per_s": 3.0,
 }
 #: Memory-gauge gates ("lower is better"): the resident-record ceilings of
 #: the streaming paths are deterministic functions of window + client
@@ -384,7 +397,17 @@ def main(argv=None) -> int:
         default=REPO_ROOT,
         help="where BENCH_*.json files live (default: repo root)",
     )
+    parser.add_argument(
+        "--dump-dir",
+        type=Path,
+        default=None,
+        help="also write this run's measurements as BENCH_<name>.quick.json "
+        "under the given directory (CI uploads them as artifacts when the "
+        "regression gate fails, so the failing numbers are inspectable)",
+    )
     args = parser.parse_args(argv)
+    if args.dump_dir is not None:
+        args.dump_dir.mkdir(parents=True, exist_ok=True)
 
     benchmarks = {
         "erasure": lambda: bench_erasure(quick=args.quick),
@@ -398,6 +421,12 @@ def main(argv=None) -> int:
         payload = make_payload(name, runner())
         for metric in GATED_METRICS[name] + GATED_MEMORY_METRICS[name]:
             print(f"[bench]   {metric} = {payload['results'][metric]:.2f}")
+        if args.dump_dir is not None:
+            dump_path = args.dump_dir / f"BENCH_{name}.quick.json"
+            dump_path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"[bench] dumped {dump_path}")
         if args.quick:
             if not path.exists():
                 failures.append(f"{name}: committed baseline {path.name} is missing")

@@ -33,7 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.consistency.history import READ, WRITE, History
 from repro.core.tags import TAG_ZERO, Tag, max_tag
-from repro.erasure.batch import CachedEncoder, ReadDecodeBatcher
+from repro.erasure.batch import CachedEncoder, ReadDecodeBatcher, WriteEncodeBatcher
 from repro.erasure.mds import CodedElement, MDSCode
 from repro.erasure.rs import ReedSolomonCode
 from repro.metrics.costs import StorageTracker
@@ -240,6 +240,7 @@ class CasWriter(Process):
         quorum_size: int,
         history: Optional[History] = None,
         encoder: Optional[CachedEncoder] = None,
+        encode_batcher: Optional[WriteEncodeBatcher] = None,
     ) -> None:
         super().__init__(pid)
         self.servers = list(servers)
@@ -247,6 +248,7 @@ class CasWriter(Process):
         self.quorum = quorum_size
         self.history = history
         self.encoder = encoder
+        self.encode_batcher = encode_batcher
         self._current: Optional[_CasWrite] = None
         self._op_counter = 0
         self.completed_writes: List[str] = []
@@ -284,21 +286,21 @@ class CasWriter(Process):
                 return
             op.tag = max_tag(op.query_responses.values()).next_for(str(self.pid))
             op.phase = "prewrite"
-            elements = (
-                self.encoder.encode(op.value)
-                if self.encoder is not None
-                else self.code.encode(op.value)
-            )
-            for idx, s in enumerate(self.servers):
-                self.send(
-                    s,
-                    CasPreWriteRequest(
-                        op_id=op.op_id,
-                        tag=op.tag,
-                        element=elements[idx],
-                        data_units=self.code.element_data_units,
-                    ),
+            # The encode and the pre-write sends that depend on it are the
+            # last actions of this handler, so batching mode may defer them
+            # as a unit to the drain flush (same simulated time, same send
+            # order) without perturbing the event trace.
+            if self.encode_batcher is not None:
+                self.encode_batcher.submit(
+                    op.value, lambda elements, op=op: self._send_prewrites(op, elements)
                 )
+            else:
+                elements = (
+                    self.encoder.encode(op.value)
+                    if self.encoder is not None
+                    else self.code.encode(op.value)
+                )
+                self._send_prewrites(op, elements)
         elif isinstance(message, CasPreWriteAck) and message.op_id == op.op_id:
             if op.phase != "prewrite" or message.tag != op.tag:
                 return
@@ -326,6 +328,18 @@ class CasWriter(Process):
                 self.history.respond(op.op_id, self.now, tag=op.tag)
             if op.callback is not None:
                 op.callback(op.tag)
+
+    def _send_prewrites(self, op: _CasWrite, elements: Sequence[CodedElement]) -> None:
+        for idx, s in enumerate(self.servers):
+            self.send(
+                s,
+                CasPreWriteRequest(
+                    op_id=op.op_id,
+                    tag=op.tag,
+                    element=elements[idx],
+                    data_units=self.code.element_data_units,
+                ),
+            )
 
     def on_crash(self) -> None:
         if self._current is not None and self.history is not None:
@@ -492,6 +506,7 @@ class CasCluster(RegisterCluster):
             self.quorum_size,
             history=self.history,
             encoder=self.encoder,
+            encode_batcher=self.encode_batcher,
         )
 
     def _make_reader(self, pid: str) -> CasReader:

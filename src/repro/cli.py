@@ -51,6 +51,7 @@ from repro.analysis.longrun import (
 from repro.analysis.sweeps import available_sweeps, rows_as_dicts, run_named_sweep
 from repro.analysis.tables import format_table, generate_table1
 from repro.baselines.registry import available_protocols, make_cluster
+from repro.erasure.gf import GF_BACKENDS, set_default_backend
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -298,6 +299,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="soda-repro",
         description="Reproduction of the SODA storage-optimized atomic register algorithms",
     )
+    parser.add_argument(
+        "--gf-backend",
+        choices=GF_BACKENDS,
+        default=None,
+        help="GF(2^8) kernel backend for erasure coding (default: the "
+        "REPRO_GF_BACKEND env var, else numpy; 'native' needs cffi plus a "
+        "C toolchain and fails fast when unavailable)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list protocols and experiments")
@@ -399,6 +408,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.gf_backend is not None:
+        set_default_backend(args.gf_backend)
     return args.func(args)
 
 

@@ -60,6 +60,7 @@ class SodaCluster(RegisterCluster):
             disk_error_model=self._disk_error_model(),
             unregister_threshold=self._unregister_threshold(),
             encoder=self.encoder,
+            encode_batcher=self.encode_batcher,
         )
 
     def _make_writer(self, pid: str) -> SodaWriter:

@@ -13,7 +13,13 @@ split into ``k`` elements, expanded into ``n`` coded elements of size
 
 This package implements everything needed from scratch:
 
-* :mod:`repro.erasure.gf` — arithmetic in GF(2^8).
+* :mod:`repro.erasure.gf` — arithmetic in GF(2^8), with three
+  byte-identical bulk-kernel backends (full-table numpy gathers, 4-bit
+  split tables, compiled C kernels) selected per field instance or
+  process-wide via ``REPRO_GF_BACKEND`` / the ``--gf-backend`` CLI flag.
+* :mod:`repro.erasure.gf_native` — the optional cffi-compiled kernels
+  behind the ``native`` backend (graceful availability probing; pure
+  numpy remains the always-on fallback).
 * :mod:`repro.erasure.poly` — polynomials over GF(2^8).
 * :mod:`repro.erasure.matrix` — matrices over GF(2^8) (inversion, solving).
 * :mod:`repro.erasure.rs` — a classical Reed–Solomon codec with systematic
@@ -28,13 +34,29 @@ This package implements everything needed from scratch:
 * :mod:`repro.erasure.linear` — shared matrix-code machinery (one-matmul
   encoding, LRU-cached erasure decoding, wide-stripe batch variants).
 * :mod:`repro.erasure.batch` — the memoizing/batch-warming
-  :class:`~repro.erasure.batch.CachedEncoder` shared by a cluster's servers.
+  :class:`~repro.erasure.batch.CachedEncoder` shared by a cluster's
+  servers, the read-side :class:`~repro.erasure.batch.CachedDecoder` /
+  :class:`~repro.erasure.batch.ReadDecodeBatcher` pair and the write-side
+  :class:`~repro.erasure.batch.WriteEncodeBatcher` (one fused stripe
+  encode per event-loop drain).
 * :mod:`repro.erasure.replication` — the trivial ``[n, 1]`` replication
   "code" used by the ABD baseline.
 """
 
-from repro.erasure.batch import CachedEncoder
-from repro.erasure.gf import GF256
+from repro.erasure.batch import (
+    CachedDecoder,
+    CachedEncoder,
+    ReadDecodeBatcher,
+    WriteEncodeBatcher,
+)
+from repro.erasure.gf import (
+    GF256,
+    GF_BACKENDS,
+    available_backends,
+    default_backend,
+    default_field,
+    set_default_backend,
+)
 from repro.erasure.linear import LinearCode
 from repro.erasure.mds import CodedElement, MDSCode, DecodingError
 from repro.erasure.rs import ReedSolomonCode
@@ -43,7 +65,15 @@ from repro.erasure.replication import ReplicationCode
 
 __all__ = [
     "GF256",
+    "GF_BACKENDS",
+    "available_backends",
+    "default_backend",
+    "default_field",
+    "set_default_backend",
+    "CachedDecoder",
     "CachedEncoder",
+    "ReadDecodeBatcher",
+    "WriteEncodeBatcher",
     "CodedElement",
     "LinearCode",
     "MDSCode",

@@ -7,7 +7,10 @@ write.  A :class:`CachedEncoder` shared across the cluster collapses those
 into one, and its :meth:`CachedEncoder.warm` method lets workload drivers
 pre-encode a whole batch of values with a single wide GF(2^8) matmul
 (:meth:`~repro.erasure.mds.MDSCode.encode_many`) before the simulation
-starts, so the in-simulation hot path is pure cache hits.
+starts, so the in-simulation hot path is pure cache hits.  For workloads
+that cannot be pre-encoded, a :class:`WriteEncodeBatcher` collects the
+encodes issued within one event-loop drain and flushes the cache misses
+through a single ``encode_many`` call — one fused stripe matmul.
 
 Decoding: concurrent reads of the same version decode the same
 ``(tag, element-set)`` over and over — every read between two writes
@@ -83,10 +86,43 @@ class CachedEncoder:
             self._insert(value, elements)
         return len(fresh)
 
+    def encode_many(self, values: Sequence[bytes]) -> List[List[CodedElement]]:
+        """Encode a batch, serving repeats from the cache.
+
+        Distinct uncached values go through the code's batched
+        :meth:`~repro.erasure.mds.MDSCode.encode_many` in one call (one
+        fused stripe matmul for same-sized values).  Hit/miss accounting
+        matches the eager loop: the first occurrence of an uncached value
+        is a miss, duplicates within the batch are hits.
+        """
+        out: List[List[CodedElement]] = [None] * len(values)  # type: ignore[list-item]
+        miss_positions: "OrderedDict[bytes, List[int]]" = OrderedDict()
+        for i, value in enumerate(values):
+            cached = self._cache.get(value)
+            if cached is not None:
+                self.hits += 1
+                self._cache.move_to_end(value)
+                out[i] = cached
+            else:
+                miss_positions.setdefault(value, []).append(i)
+        if miss_positions:
+            fresh = list(miss_positions)
+            self.misses += len(fresh)
+            self.hits += sum(len(p) - 1 for p in miss_positions.values())
+            for value, elements in zip(fresh, self.code.encode_many(fresh)):
+                self._insert(value, elements)
+                for i in miss_positions[value]:
+                    out[i] = elements
+        return out
+
     def _insert(self, value: bytes, elements: List[CodedElement]) -> None:
         self._cache[value] = elements
         if len(self._cache) > self.capacity:
             self._cache.popitem(last=False)
+
+    def stats(self) -> dict:
+        """Hit/miss/occupancy counters (benchmarks and tests read these)."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._cache)}
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -193,6 +229,10 @@ class CachedDecoder:
         if len(self._cache) > self.capacity:
             self._cache.popitem(last=False)
 
+    def stats(self) -> dict:
+        """Hit/miss/occupancy counters (benchmarks and tests read these)."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._cache)}
+
     def __len__(self) -> int:
         return len(self._cache)
 
@@ -253,3 +293,69 @@ class ReadDecodeBatcher:
         )
         for (_, _, continuation), value in zip(pending, values):
             continuation(value)
+
+    def stats(self) -> dict:
+        """Submission/flush counters (benchmarks and tests read these)."""
+        return {"submitted": self.submitted, "flushes": self.flushes}
+
+
+# ----------------------------------------------------------------------
+# write-side per-drain encode batcher
+# ----------------------------------------------------------------------
+class WriteEncodeBatcher:
+    """Collects writer/server encodes issued in one event-loop drain.
+
+    The write-side mirror of :class:`ReadDecodeBatcher`: instead of
+    encoding inline, a writer (CAS/CASGC pre-write) or dispersal server
+    (SODA/SODAerr MD-VALUE) submits ``(value, continuation)``; the batcher
+    arms one deferred micro-task per drain and flushes every submission
+    through a single :meth:`CachedEncoder.encode_many` call — one fused
+    stripe matmul when the batch's values share a size — then runs the
+    continuations in submission order.
+
+    Determinism: at every eager encode site the encode and the sends that
+    depend on its elements are the *last* actions of the message handler,
+    so deferring them as a unit to the drain flush (same simulated time,
+    before the next event pops, FIFO across submitters) preserves the
+    exact send order and therefore the RNG delay stream — executions are
+    event-for-event identical, enforced by the golden-trace tests.  N
+    concurrent writers landing in one drain cost one stripe encode
+    instead of N table gathers.
+    """
+
+    def __init__(
+        self,
+        encoder: CachedEncoder,
+        defer: Callable[[Callable[[], None]], None],
+    ) -> None:
+        self.encoder = encoder
+        self._defer = defer
+        self._pending: List[Tuple[bytes, Callable[[List[CodedElement]], None]]] = []
+        self._armed = False
+        #: Flush/batch counters (benchmarks and tests read these).
+        self.flushes = 0
+        self.submitted = 0
+
+    def submit(
+        self, value: bytes, continuation: Callable[[List[CodedElement]], None]
+    ) -> None:
+        """Queue one encode; ``continuation(elements)`` runs at flush time."""
+        self._pending.append((value, continuation))
+        self.submitted += 1
+        if not self._armed:
+            self._armed = True
+            self._defer(self._flush)
+
+    def _flush(self) -> None:
+        self._armed = False
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        self.flushes += 1
+        batches = self.encoder.encode_many([value for value, _ in pending])
+        for (_, continuation), elements in zip(pending, batches):
+            continuation(elements)
+
+    def stats(self) -> dict:
+        """Submission/flush counters (benchmarks and tests read these)."""
+        return {"submitted": self.submitted, "flushes": self.flushes}

@@ -12,14 +12,44 @@ Only one field size is needed by the paper (values are byte strings and each
 coded element is a byte string), but the implementation is written against an
 explicit primitive polynomial so alternative polynomials can be used in
 tests.
+
+Kernel backends
+---------------
+Each field instance carries one of three interchangeable bulk-kernel
+backends — all byte-identical, differing only in how the per-coefficient
+table product is computed:
+
+``numpy``
+    The always-on portable default: one 1D ``take`` per non-trivial
+    coefficient against a 256-byte row of the full 64 KiB product table.
+``split``
+    4-bit split tables: the product ``a * b`` is split into
+    ``a * (b & 0xF) ^ a * (b >> 4 << 4)`` (GF multiplication is linear over
+    XOR), served from two 256 x 16 tables — an 8 KiB working set instead of
+    64 KiB, at the cost of two gathers per coefficient.
+``native``
+    Compiled C kernels (:mod:`repro.erasure.gf_native`, built at runtime via
+    cffi) consuming the same product table; uses a 16-lane ``pshufb``
+    split-table product on SSSE3-capable x86-64 hosts and a scalar table
+    walk elsewhere.  Requires cffi plus a C toolchain.
+
+The process-wide default backend is resolved from the ``REPRO_GF_BACKEND``
+environment variable (CLI flag ``--gf-backend`` sets it explicitly via
+:func:`set_default_backend`); an env-selected ``native`` backend that cannot
+build falls back to ``numpy`` with a warning, while an explicit
+:func:`set_default_backend`/constructor request raises.
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 from functools import lru_cache
-from typing import Iterable, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
+
+from repro.erasure import gf_native
 
 # Default primitive polynomial for GF(2^8): x^8 + x^4 + x^3 + x + 1.
 DEFAULT_PRIMITIVE_POLY = 0x11B
@@ -28,6 +58,13 @@ DEFAULT_GENERATOR = 0x03
 
 FIELD_SIZE = 256
 ORDER = FIELD_SIZE - 1  # multiplicative group order
+
+#: The interchangeable bulk-kernel backends (see the module docstring).
+GF_BACKENDS = ("numpy", "split", "native")
+#: Environment variable consulted by :func:`default_backend`.
+BACKEND_ENV_VAR = "REPRO_GF_BACKEND"
+
+_backend_override: Optional[str] = None
 
 
 class GF256:
@@ -40,6 +77,10 @@ class GF256:
     generator:
         A primitive element; powers of it enumerate all non-zero field
         elements and define the exp/log tables.
+    backend:
+        Bulk-kernel backend for ``mul_vec``/``matmul``/``matmul_many`` —
+        one of :data:`GF_BACKENDS`.  ``"native"`` raises ``RuntimeError``
+        when the compiled kernels cannot be built on this host.
 
     Notes
     -----
@@ -51,21 +92,31 @@ class GF256:
     __slots__ = (
         "primitive_poly",
         "generator",
+        "backend",
         "exp",
         "log",
         "_inv",
         "_mul_table",
         "_mul_flat",
+        "_split_lo",
+        "_split_hi",
+        "_native",
     )
 
     def __init__(
         self,
         primitive_poly: int = DEFAULT_PRIMITIVE_POLY,
         generator: int = DEFAULT_GENERATOR,
+        *,
+        backend: str = "numpy",
     ) -> None:
         if primitive_poly >> 8 != 1:
             raise ValueError(
                 f"primitive polynomial must have degree 8, got {primitive_poly:#x}"
+            )
+        if backend not in GF_BACKENDS:
+            raise ValueError(
+                f"unknown GF backend {backend!r}; expected one of {GF_BACKENDS}"
             )
         self.primitive_poly = primitive_poly
         self.generator = generator
@@ -100,6 +151,19 @@ class GF256:
         self._mul_table = mul_table
         # Flat view for 1D take-based gathers (row-major: index = a*256 + b).
         self._mul_flat = mul_table.reshape(-1)
+        self.backend = backend
+        # 4-bit split tables: SPLIT_LO[a, x] = a*x and SPLIT_HI[a, x] = a*(x<<4)
+        # for x in 0..15 — just strided views copied out of the full table, so
+        # they agree with it entry-for-entry by construction.
+        if backend == "split":
+            self._split_lo = np.ascontiguousarray(mul_table[:, :16])
+            self._split_hi = np.ascontiguousarray(mul_table[:, ::16])
+        else:
+            self._split_lo = None
+            self._split_hi = None
+        # The compiled kernels consume self._mul_table directly, so their
+        # products are the same table lookups the numpy backend gathers.
+        self._native = gf_native.load() if backend == "native" else None
 
     # ------------------------------------------------------------------
     # scalar operations
@@ -165,13 +229,35 @@ class GF256:
     def mul_vec(self, a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
         """Element-wise product of two uint8 arrays (or array and scalar).
 
-        A single gather into the (flattened) 256 x 256 product table; the
-        index arrays broadcast against each other exactly like ``a * b``.
+        One gather into the (flattened) 256 x 256 product table on the
+        default backend; the index arrays broadcast against each other
+        exactly like ``a * b``.  The split backend does two 8 KiB-table
+        gathers XORed together; the native backend calls the compiled
+        table-walk kernel.  All three produce identical bytes.
         """
         a = np.asarray(a, dtype=np.uint8)
         b = np.asarray(b, dtype=np.uint8)
         if a.shape != b.shape:
             a, b = np.broadcast_arrays(a, b)
+        if self.backend == "native":
+            a = np.ascontiguousarray(a)
+            b = np.ascontiguousarray(b)
+            out = np.empty(a.shape, dtype=np.uint8)
+            ffi, lib = self._native
+            lib.gf_mul_vec(
+                ffi.from_buffer(self._mul_table),
+                ffi.from_buffer(a),
+                ffi.from_buffer(b),
+                ffi.from_buffer(out),
+                a.size,
+            )
+            return out
+        if self.backend == "split":
+            idx = a.astype(np.intp)
+            idx <<= 4
+            lo = self._split_lo.reshape(-1).take(idx + (b & 0x0F), mode="wrap")
+            hi = self._split_hi.reshape(-1).take(idx + (b >> 4), mode="wrap")
+            return lo ^ hi
         idx = a.astype(np.intp)
         idx <<= 8
         idx += b
@@ -194,6 +280,13 @@ class GF256:
         B = np.asarray(B, dtype=np.uint8)
         if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
             raise ValueError(f"incompatible shapes {A.shape} x {B.shape}")
+        if self.backend == "native":
+            return self._matmul_native(A, B)
+        if self.backend == "split":
+            return self._matmul_split(A, B)
+        return self._matmul_table(A, B)
+
+    def _matmul_table(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
         m, p = A.shape
         q = B.shape[1]
         out = np.zeros((m, q), dtype=np.uint8)
@@ -217,6 +310,129 @@ class GF256:
                 np.bitwise_xor(out[i], product, out=out[i])
         return out
 
+    def _matmul_split(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        m, p = A.shape
+        q = B.shape[1]
+        out = np.zeros((m, q), dtype=np.uint8)
+        lo_tab = self._split_lo
+        hi_tab = self._split_hi
+        # The 4-bit operand halves are shared by every coefficient touching a
+        # given row of B, so they are materialised once per row, not per
+        # (i, j) pair.  Each partial product XOR-accumulates independently —
+        # out[i] ^= lo ^ hi needs no intermediate combine.
+        b_lo = B & 0x0F
+        b_hi = B >> 4
+        product = np.empty(q, dtype=np.uint8)
+        for j in range(p):
+            row = B[j]
+            row_lo = b_lo[j]
+            row_hi = b_hi[j]
+            for i in range(m):
+                coeff = A[i, j]
+                if coeff == 0:
+                    continue
+                if coeff == 1:
+                    np.bitwise_xor(out[i], row, out=out[i])
+                    continue
+                np.take(lo_tab[coeff], row_lo, out=product, mode="wrap")
+                np.bitwise_xor(out[i], product, out=out[i])
+                np.take(hi_tab[coeff], row_hi, out=product, mode="wrap")
+                np.bitwise_xor(out[i], product, out=out[i])
+        return out
+
+    def _matmul_native(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        m, p = A.shape
+        q = B.shape[1]
+        A = np.ascontiguousarray(A)
+        B = np.ascontiguousarray(B)
+        out = np.empty((m, q), dtype=np.uint8)
+        ffi, lib = self._native
+        lib.gf_matmul(
+            ffi.from_buffer(A),
+            ffi.from_buffer(self._mul_table),
+            ffi.from_buffer(B),
+            ffi.from_buffer(out),
+            m,
+            p,
+            q,
+        )
+        return out
+
+    def matmul_many(
+        self,
+        A: np.ndarray,
+        stacked: np.ndarray,
+        *,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Apply one matrix to a whole stripe of same-shape operands.
+
+        ``A`` has shape ``(m, p)`` and ``stacked`` shape ``(batch, p, q)``;
+        returns ``(batch, m, q)``.  The batch is laid out as one wide
+        ``(p, batch * q)`` matrix — column-concatenation, the same layout
+        ``LinearCode.encode_many`` used to build by hand — so the whole
+        stripe costs one fused kernel pass instead of ``batch`` passes, and
+        each slice of the result is byte-identical to ``matmul(A,
+        stacked[b])`` because every output column depends only on its own
+        input column.
+
+        ``out``, when given, must be a C-contiguous ``(batch, m, q)`` uint8
+        array; the result is written into it and it is returned.  Callers
+        that encode stripes repeatedly (``LinearCode.encode_many``) pass a
+        reused scratch buffer so steady-state stripes run in warm pages
+        instead of paying a multi-megabyte allocation per drain.
+        """
+        A = np.asarray(A, dtype=np.uint8)
+        stacked = np.asarray(stacked, dtype=np.uint8)
+        if A.ndim != 2 or stacked.ndim != 3 or A.shape[1] != stacked.shape[1]:
+            raise ValueError(
+                f"incompatible shapes {A.shape} x {stacked.shape}; expected "
+                "(m, p) x (batch, p, q)"
+            )
+        batch, p, q = stacked.shape
+        m = A.shape[0]
+        if out is not None and (
+            out.shape != (batch, m, q)
+            or out.dtype != np.uint8
+            or not out.flags["C_CONTIGUOUS"]
+        ):
+            raise ValueError(
+                f"out must be C-contiguous uint8 of shape {(batch, m, q)}"
+            )
+        if batch == 0:
+            return np.zeros((0, m, q), dtype=np.uint8) if out is None else out
+        if self.backend == "native":
+            # The compiled kernel has no per-call setup worth amortising, so
+            # the stripe is dispatched slice-by-slice straight into the
+            # (batch, m, q) output — contiguous in, contiguous out, zero
+            # layout copies.  (The wide path below would pay two full-stripe
+            # transpose copies just to feed the kernel one call.)
+            A = np.ascontiguousarray(A)
+            stacked = np.ascontiguousarray(stacked)
+            if out is None:
+                out = np.empty((batch, m, q), dtype=np.uint8)
+            ffi, lib = self._native
+            a_buf = ffi.from_buffer(A)
+            table = ffi.from_buffer(self._mul_table)
+            for b in range(batch):
+                lib.gf_matmul(
+                    a_buf,
+                    table,
+                    ffi.from_buffer(stacked[b]),
+                    ffi.from_buffer(out[b]),
+                    m,
+                    p,
+                    q,
+                )
+            return out
+        wide = stacked.transpose(1, 0, 2).reshape(p, batch * q)
+        product = self.matmul(A, wide)
+        stripes = product.reshape(m, batch, q).transpose(1, 0, 2)
+        if out is None:
+            return np.ascontiguousarray(stripes)
+        np.copyto(out, stripes)
+        return out
+
     # ------------------------------------------------------------------
     # misc helpers
     # ------------------------------------------------------------------
@@ -234,10 +450,80 @@ class GF256:
         return range(FIELD_SIZE)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"GF256(primitive_poly={self.primitive_poly:#x}, generator={self.generator:#x})"
+        return (
+            f"GF256(primitive_poly={self.primitive_poly:#x}, "
+            f"generator={self.generator:#x}, backend={self.backend!r})"
+        )
+
+
+def available_backends() -> List[str]:
+    """The subset of :data:`GF_BACKENDS` usable on this host."""
+    return [
+        name
+        for name in GF_BACKENDS
+        if name != "native" or gf_native.is_available()
+    ]
+
+
+def set_default_backend(backend: Optional[str]) -> None:
+    """Pin the process-wide default backend (``None`` restores env/default).
+
+    An explicit request for ``"native"`` raises ``RuntimeError`` when the
+    compiled kernels cannot be built, unlike the env-var path which falls
+    back to ``numpy`` with a warning.
+    """
+    global _backend_override
+    if backend is not None:
+        if backend not in GF_BACKENDS:
+            raise ValueError(
+                f"unknown GF backend {backend!r}; expected one of {GF_BACKENDS}"
+            )
+        if backend == "native":
+            error = gf_native.availability_error()
+            if error is not None:
+                raise RuntimeError(f"native GF backend unavailable: {error}")
+    _backend_override = backend
+
+
+def default_backend() -> str:
+    """Resolve the backend new ``default_field()`` instances use.
+
+    Precedence: :func:`set_default_backend` override, then the
+    ``REPRO_GF_BACKEND`` environment variable, then ``"numpy"``.
+    """
+    if _backend_override is not None:
+        return _backend_override
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if not env:
+        return "numpy"
+    if env not in GF_BACKENDS:
+        raise ValueError(
+            f"{BACKEND_ENV_VAR}={env!r} is not a GF backend; "
+            f"expected one of {GF_BACKENDS}"
+        )
+    if env == "native":
+        error = gf_native.availability_error()
+        if error is not None:
+            warnings.warn(
+                f"{BACKEND_ENV_VAR}=native requested but the compiled backend "
+                f"is unavailable ({error}); falling back to the numpy kernels",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return "numpy"
+    return env
 
 
 @lru_cache(maxsize=None)
+def _field_for_backend(backend: str) -> GF256:
+    return GF256(backend=backend)
+
+
 def default_field() -> GF256:
-    """A process-wide shared GF(2^8) instance with the default polynomial."""
-    return GF256()
+    """A process-wide shared GF(2^8) instance with the default polynomial.
+
+    One instance is cached per backend, so flipping the default backend
+    mid-process (tests, CLI) hands out the matching cached field without
+    rebuilding tables for backends already seen.
+    """
+    return _field_for_backend(default_backend())

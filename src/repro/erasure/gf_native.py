@@ -1,0 +1,247 @@
+"""Optional compiled GF(2^8) kernels (the ``native`` backend).
+
+This module builds a tiny C extension at runtime via :mod:`cffi` and exposes
+it to :class:`repro.erasure.gf.GF256` behind two entry points:
+
+* :func:`load` — compile (or reuse a cached build of) the extension and
+  return its ``(ffi, lib)`` pair; raises ``RuntimeError`` when cffi or a C
+  toolchain is unavailable.
+* :func:`is_available` / :func:`availability_error` — probe without raising,
+  so callers (env-var backend selection, CI build steps, skipif marks) can
+  fall back to the pure-numpy kernels cleanly.
+
+The C kernels consume the exact same 256 x 256 product table the numpy
+backend gathers from, so every backend is byte-identical by construction:
+``gf_matmul`` walks the (coefficient, row) loop with the same 0/1 shortcuts
+as ``GF256.matmul``, replacing the per-row numpy ``take`` with either a
+scalar table walk or — on x86-64 hosts with SSSE3 — a 16-lane ``pshufb``
+split-table product (two 16-byte lane tables derived per coefficient from
+the full table row; ``lo[x] = row[x]``, ``hi[x] = row[x << 4]``, product =
+``lo[b & 0xF] ^ hi[b >> 4]`` by linearity of GF multiplication over XOR).
+The SIMD path is compiled only under ``__x86_64__`` + GCC/Clang and selected
+at runtime via ``__builtin_cpu_supports``; every other host uses the scalar
+loop, still well ahead of a Python-side gather for matmul shapes.
+
+Builds land in a content-addressed cache directory (hash of the C source)
+under the system temp dir — override with ``REPRO_GF_NATIVE_CACHE`` — so the
+~2 s compile is paid once per source revision per machine, not per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import shutil
+import sys
+import tempfile
+import threading
+from typing import Optional, Tuple
+
+MODULE_NAME = "_repro_gf_native"
+
+CDEF = """
+void gf_matmul(const unsigned char *A, const unsigned char *table,
+               const unsigned char *B, unsigned char *out,
+               long m, long p, long q);
+void gf_mul_vec(const unsigned char *table, const unsigned char *a,
+                const unsigned char *b, unsigned char *out, long n);
+"""
+
+C_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+static void row_xor(uint8_t *dst, const uint8_t *src, long q)
+{
+    for (long i = 0; i < q; i++)
+        dst[i] ^= src[i];
+}
+
+static void row_mul_xor_scalar(uint8_t *dst, const uint8_t *src,
+                               const uint8_t *row, long q)
+{
+    for (long i = 0; i < q; i++)
+        dst[i] ^= row[src[i]];
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+
+/* 16-lane split-table product: two pshufb gathers + one XOR per 16 bytes.
+ * The lane tables are the coefficient's table row sampled at x and x<<4;
+ * row[b] == row[b & 0xF] ^ row[(b >> 4) << 4] by GF-linearity over XOR,
+ * so the SIMD product is bit-identical to the scalar table walk. */
+__attribute__((target("ssse3")))
+static void row_mul_xor_ssse3(uint8_t *dst, const uint8_t *src,
+                              const uint8_t *row, long q)
+{
+    uint8_t lo_tab[16], hi_tab[16];
+    for (int x = 0; x < 16; x++) {
+        lo_tab[x] = row[x];
+        hi_tab[x] = row[x << 4];
+    }
+    const __m128i tlo = _mm_loadu_si128((const __m128i *)lo_tab);
+    const __m128i thi = _mm_loadu_si128((const __m128i *)hi_tab);
+    const __m128i mask = _mm_set1_epi8(0x0f);
+    long i = 0;
+    for (; i + 16 <= q; i += 16) {
+        __m128i b = _mm_loadu_si128((const __m128i *)(src + i));
+        __m128i lo = _mm_and_si128(b, mask);
+        __m128i hi = _mm_and_si128(_mm_srli_epi16(b, 4), mask);
+        __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo),
+                                     _mm_shuffle_epi8(thi, hi));
+        __m128i d = _mm_loadu_si128((const __m128i *)(dst + i));
+        _mm_storeu_si128((__m128i *)(dst + i), _mm_xor_si128(d, prod));
+    }
+    for (; i < q; i++)
+        dst[i] ^= row[src[i]];
+}
+
+static int have_ssse3(void)
+{
+    return __builtin_cpu_supports("ssse3");
+}
+#else
+static int have_ssse3(void)
+{
+    return 0;
+}
+#endif
+
+void gf_matmul(const unsigned char *A, const unsigned char *table,
+               const unsigned char *B, unsigned char *out,
+               long m, long p, long q)
+{
+    memset(out, 0, (size_t)m * (size_t)q);
+    const int fast = have_ssse3();
+    for (long j = 0; j < p; j++) {
+        const uint8_t *brow = B + j * q;
+        for (long i = 0; i < m; i++) {
+            const uint8_t coeff = A[i * p + j];
+            if (coeff == 0)
+                continue;
+            uint8_t *orow = out + i * q;
+            if (coeff == 1) {
+                row_xor(orow, brow, q);
+                continue;
+            }
+            const uint8_t *trow = table + (long)coeff * 256;
+#if defined(__x86_64__) && defined(__GNUC__)
+            if (fast) {
+                row_mul_xor_ssse3(orow, brow, trow, q);
+                continue;
+            }
+#endif
+            row_mul_xor_scalar(orow, brow, trow, q);
+        }
+    }
+}
+
+void gf_mul_vec(const unsigned char *table, const unsigned char *a,
+                const unsigned char *b, unsigned char *out, long n)
+{
+    for (long i = 0; i < n; i++)
+        out[i] = table[(long)a[i] * 256 + b[i]];
+}
+"""
+
+_lock = threading.Lock()
+_loaded: Optional[Tuple[object, object]] = None
+_error: Optional[str] = None
+
+
+def _source_digest() -> str:
+    return hashlib.sha256((CDEF + C_SOURCE).encode()).hexdigest()[:16]
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_GF_NATIVE_CACHE")
+    if override:
+        return override
+    tag = f"py{sys.version_info.major}{sys.version_info.minor}"
+    return os.path.join(
+        tempfile.gettempdir(), f"repro-gf-native-{_source_digest()}-{tag}"
+    )
+
+
+def _find_extension(directory: str) -> Optional[str]:
+    if not os.path.isdir(directory):
+        return None
+    for name in sorted(os.listdir(directory)):
+        if name.startswith(MODULE_NAME) and name.endswith((".so", ".pyd")):
+            return os.path.join(directory, name)
+    return None
+
+
+def _load_extension(path: str) -> Tuple[object, object]:
+    spec = importlib.util.spec_from_file_location(MODULE_NAME, path)
+    if spec is None or spec.loader is None:  # pragma: no cover - loader quirk
+        raise RuntimeError(f"cannot load compiled module at {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.ffi, module.lib
+
+
+def _build() -> Tuple[object, object]:
+    try:
+        from cffi import FFI
+    except ImportError as exc:
+        raise RuntimeError(f"cffi is not installed: {exc}") from exc
+
+    cache_dir = _cache_dir()
+    cached = _find_extension(cache_dir)
+    if cached is not None:
+        return _load_extension(cached)
+
+    builder = FFI()
+    builder.cdef(CDEF)
+    builder.set_source(MODULE_NAME, C_SOURCE, extra_compile_args=["-O3"])
+    build_dir = tempfile.mkdtemp(prefix="repro-gf-build-")
+    try:
+        built = builder.compile(tmpdir=build_dir)
+    except Exception as exc:
+        shutil.rmtree(build_dir, ignore_errors=True)
+        raise RuntimeError(f"C toolchain unavailable or build failed: {exc}") from exc
+    try:
+        # Publish atomically; a concurrent builder winning the rename is fine,
+        # we just load whichever copy landed.
+        os.replace(build_dir, cache_dir)
+    except OSError:
+        shutil.rmtree(build_dir, ignore_errors=True)
+    published = _find_extension(cache_dir)
+    return _load_extension(published if published is not None else built)
+
+
+def load() -> Tuple[object, object]:
+    """Return the compiled ``(ffi, lib)`` pair, building it on first use.
+
+    Raises ``RuntimeError`` (with the underlying reason) when the native
+    backend cannot be provided on this host.
+    """
+    global _loaded, _error
+    with _lock:
+        if _loaded is not None:
+            return _loaded
+        if _error is not None:
+            raise RuntimeError(_error)
+        try:
+            _loaded = _build()
+        except RuntimeError as exc:
+            _error = str(exc)
+            raise
+        return _loaded
+
+
+def availability_error() -> Optional[str]:
+    """``None`` when the native backend loads, else the human-readable reason."""
+    try:
+        load()
+    except RuntimeError as exc:
+        return str(exc)
+    return None
+
+
+def is_available() -> bool:
+    """True when the compiled backend can be built (or is already cached)."""
+    return availability_error() is None

@@ -55,6 +55,12 @@ class LinearCode(MDSCode):
             )
         self._decode_cache_size = decode_cache_size
         self._decode_cache: "OrderedDict[Tuple[int, ...], np.ndarray]" = OrderedDict()
+        # Reused (stacked, codewords) scratch pair for the same-stripe
+        # encode_many fast path.  Drains tend to repeat the same batch
+        # geometry, so steady-state stripe encodes run entirely in warm
+        # pages instead of allocating multiple megabytes per flush.  The
+        # buffers never escape: results leave as bytes copies.
+        self._stripe_scratch: Tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # encoding
@@ -70,14 +76,40 @@ class LinearCode(MDSCode):
     def encode_many(self, values: Sequence[bytes]) -> List[List[CodedElement]]:
         """Encode a batch of values with one wide matrix product.
 
-        Every value is framed to its own ``(k, stripe_i)`` matrix; the frames
-        are concatenated column-wise so a single matmul encodes the whole
-        batch, and the resulting codeword is split back per value.  The
-        output is byte-identical to calling :meth:`encode` per value.
+        Every value is framed to its own ``(k, stripe_i)`` matrix.  When all
+        frames share one stripe length — concurrent writers in a namespace
+        encode same-sized values, which is the hot case — they are stacked
+        into a ``(batch, k, stripe)`` block and encoded by one fused
+        :meth:`GF256.matmul_many` pass.  Mixed-size batches fall back to
+        column-wise concatenation through a single plain matmul.  Either
+        way the output is byte-identical to calling :meth:`encode` per
+        value (``matmul_many`` lays the batch out as the same wide
+        column-concatenated matrix).
         """
         if not values:
             return []
         frames = [self._frame(v) for v in values]
+        stripe = frames[0].shape[1]
+        if all(frame.shape[1] == stripe for frame in frames):
+            shape = (len(frames), self.k, stripe)
+            if self._stripe_scratch is None or self._stripe_scratch[0].shape != shape:
+                self._stripe_scratch = (
+                    np.empty(shape, dtype=np.uint8),
+                    np.empty((len(frames), self.n, stripe), dtype=np.uint8),
+                )
+            stacked, out = self._stripe_scratch
+            for b, frame in enumerate(frames):
+                stacked[b] = frame
+            codewords = self.field.matmul_many(
+                self._encode_matrix, stacked, out=out
+            )
+            return [
+                [
+                    CodedElement(index=i, data=codeword[i].tobytes())
+                    for i in range(self.n)
+                ]
+                for codeword in codewords
+            ]
         stacked = np.concatenate(frames, axis=1)  # (k, sum of stripes)
         codeword = self.field.matmul(self._encode_matrix, stacked)
         out: List[List[CodedElement]] = []
@@ -123,17 +155,16 @@ class LinearCode(MDSCode):
             groups.setdefault(plan, []).append(position)
         results: List[bytes] = [b""] * len(collected)
         for (indices, stripe), positions in groups.items():
-            wide = np.zeros((self.k, stripe * len(positions)), dtype=np.uint8)
-            for slot, position in enumerate(positions):
-                wide[:, slot * stripe : (slot + 1) * stripe] = self._gather_rows(
-                    collected[position], indices, stripe
-                )
+            stacked = np.stack(
+                [
+                    self._gather_rows(collected[position], indices, stripe)
+                    for position in positions
+                ]
+            )
             inverse = self._decode_matrix(indices)
-            message = self.field.matmul(inverse, wide)
+            messages = self.field.matmul_many(inverse, stacked)
             for slot, position in enumerate(positions):
-                results[position] = self._unframe(
-                    message[:, slot * stripe : (slot + 1) * stripe]
-                )
+                results[position] = self._unframe(messages[slot])
         return results
 
     # ------------------------------------------------------------------

@@ -161,15 +161,75 @@ class ReedSolomonCode(LinearCode):
             received[idx] = np.frombuffer(data, dtype=np.uint8)
 
         syndromes = self.field.matmul(self._syndrome_matrix, received)  # (2t, stripe)
-        corrected = received.copy()
         dirty_columns = np.nonzero(np.any(syndromes != 0, axis=0))[0]
-        for col in dirty_columns:
-            column_syndromes = [int(s) for s in syndromes[:, col]]
-            corrected[:, col] = self._correct_column(
-                received[:, col], column_syndromes, erasure_positions, max_errors
-            )
-        message = corrected[: self.k, :]
+        if dirty_columns.size == 0:
+            return self._unframe(received[: self.k, :])
+
+        # Stripe-level fast path: element corruption (disk faults, the
+        # `corrupt` helper) dirties every byte of an element, so all dirty
+        # columns typically share one errata pattern.  Locate the errata on
+        # the first dirty column only, erasure-decode the whole stripe from
+        # clean rows, and verify the re-encoded codeword against every
+        # retained row — sound by MDS distance, see the helper.  Any
+        # mismatch (per-column error patterns DO differ) falls back to the
+        # per-column pipeline below, byte-identical to the pre-fast-path
+        # behaviour either way.
+        message = self._decode_stripe_with_errors(
+            received, available, syndromes, dirty_columns, erasure_positions, max_errors
+        )
+        if message is None:
+            corrected = received.copy()
+            for col in dirty_columns:
+                column_syndromes = [int(s) for s in syndromes[:, col]]
+                corrected[:, col] = self._correct_column(
+                    received[:, col], column_syndromes, erasure_positions, max_errors
+                )
+            message = corrected[: self.k, :]
         return self._unframe(message)
+
+    def _decode_stripe_with_errors(
+        self,
+        received: np.ndarray,
+        available: dict,
+        syndromes: np.ndarray,
+        dirty_columns: np.ndarray,
+        erasure_positions: Sequence[int],
+        max_errors: int,
+    ) -> np.ndarray | None:
+        """Whole-stripe errors-and-erasures decode under a shared-errata
+        hypothesis; returns the ``(k, stripe)`` message or ``None``.
+
+        The errata positions located on the *first* dirty column are taken
+        as the hypothesis for the whole stripe.  Decoding is then a plain
+        erasure decode from ``k`` rows outside the hypothesised error set,
+        verified by re-encoding: the result ``D`` agrees with the received
+        stripe on every retained row, and the true codeword ``C`` differs
+        from the received stripe only on true-error rows, so ``D`` and
+        ``C`` can disagree on at most ``2*max_errors + erasures <= n - k``
+        positions — fewer than the MDS distance ``n - k + 1`` — forcing
+        ``D == C`` whenever the verification passes, even if the hypothesis
+        named the wrong rows.  Verification failure returns ``None`` (the
+        caller falls back to per-column decoding), never a wrong answer.
+        """
+        first = int(dirty_columns[0])
+        column_syndromes = [int(s) for s in syndromes[:, first]]
+        try:
+            errata_positions, _ = self._locate_errata(
+                column_syndromes, erasure_positions, max_errors
+            )
+        except DecodingError:
+            return None
+        error_rows = set(errata_positions) - set(erasure_positions)
+        keep = [i for i in sorted(available) if i not in error_rows]
+        if len(keep) < self.k:
+            return None
+        indices = tuple(keep[: self.k])
+        inverse = self._decode_matrix(indices)
+        message = self.field.matmul(inverse, received[list(indices), :])
+        codeword = self.field.matmul(self._encode_matrix, message)
+        if not np.array_equal(codeword[keep], received[keep]):
+            return None
+        return message
 
     # ------------------------------------------------------------------
     # per-column errors-and-erasures machinery
@@ -184,6 +244,41 @@ class ReedSolomonCode(LinearCode):
         """Correct a single byte column given its (non-zero) syndromes."""
         field = self.field
         nparity = self._nparity
+        errata_positions, psi = self._locate_errata(
+            syndromes, erasure_positions, max_errors
+        )
+        omega = self._poly_mul_asc(syndromes, psi)[:nparity]
+        psi_derivative = self._derivative_asc(psi)
+        corrected = column.copy()
+        for pos in errata_positions:
+            X = self._locator(pos)
+            X_inv = field.inv(X)
+            denom = self._eval_asc(psi_derivative, X_inv)
+            if denom == 0:
+                raise DecodingError("Forney denominator vanished (repeated locator?)")
+            magnitude = field.mul(X, field.div(self._eval_asc(omega, X_inv), denom))
+            corrected[pos] ^= magnitude
+
+        # Sanity: the corrected column must be a codeword.
+        check = self.field.matmul(self._syndrome_matrix, corrected[:, None])
+        if np.any(check != 0):
+            raise DecodingError("correction failed: residual syndromes are non-zero")
+        return corrected
+
+    def _locate_errata(
+        self,
+        syndromes: List[int],
+        erasure_positions: Sequence[int],
+        max_errors: int,
+    ) -> tuple[List[int], List[int]]:
+        """Locate errata from one column's syndromes.
+
+        Runs the erasure locator / Forney syndromes / Berlekamp–Massey /
+        Chien pipeline and returns ``(errata_positions, psi)`` where ``psi``
+        is the combined (ascending) errata locator polynomial.  Raises
+        :class:`DecodingError` when the pattern is outside the declared
+        radius or the locator fails its structural checks.
+        """
         erasure_locators = [self._locator(p) for p in erasure_positions]
         gamma = self._locator_poly(erasure_locators)  # ascending
 
@@ -208,24 +303,7 @@ class ReedSolomonCode(LinearCode):
             raise DecodingError(
                 f"found {len(extra)} error positions, more than the bound {max_errors}"
             )
-
-        omega = self._poly_mul_asc(syndromes, psi)[:nparity]
-        psi_derivative = self._derivative_asc(psi)
-        corrected = column.copy()
-        for pos in errata_positions:
-            X = self._locator(pos)
-            X_inv = field.inv(X)
-            denom = self._eval_asc(psi_derivative, X_inv)
-            if denom == 0:
-                raise DecodingError("Forney denominator vanished (repeated locator?)")
-            magnitude = field.mul(X, field.div(self._eval_asc(omega, X_inv), denom))
-            corrected[pos] ^= magnitude
-
-        # Sanity: the corrected column must be a codeword.
-        check = self.field.matmul(self._syndrome_matrix, corrected[:, None])
-        if np.any(check != 0):
-            raise DecodingError("correction failed: residual syndromes are non-zero")
-        return corrected
+        return errata_positions, psi
 
     def _locator_poly(self, locators: Sequence[int]) -> List[int]:
         """``prod_l (1 - X_l x)`` as an ascending coefficient list."""

@@ -280,6 +280,17 @@ class MultiRegisterCluster:
     def storage_current(self) -> float:
         return sum(obj.storage_current() for obj in self.objects)
 
+    def codec_stats(self) -> Dict[str, int]:
+        """Namespace-wide codec counters: the per-object
+        :meth:`~repro.runtime.cluster.RegisterCluster.codec_stats` summed
+        key-wise (every object runs the same protocol, so the objects
+        expose the same keys)."""
+        totals: Dict[str, int] = {}
+        for obj in self.objects:
+            for key, count in obj.codec_stats().items():
+                totals[key] = totals.get(key, 0) + count
+        return totals
+
     def max_resident_records(self) -> int:
         """Peak resident records over the objects' bounded recorders (0 if
         an object records through a plain in-memory History)."""
