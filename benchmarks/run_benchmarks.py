@@ -21,10 +21,13 @@ Two artefacts track the repository's performance trajectory:
   bounded-memory recorder), real-cluster longrun rows
   (``longrun_ops_per_s`` / ``longrun_events_per_s`` wall rates plus the
   gated ``longrun_max_resident`` memory gauge — see
-  :mod:`repro.analysis.longrun`) and multi-object namespace rows
+  :mod:`repro.analysis.longrun`), multi-object namespace rows
   (``multiobj_ops_per_s`` / ``multiobj_events_per_s`` for an 8-register
   Zipf-skewed namespace run, plus the gated ``multiobj_max_resident``
-  per-object recorder gauge).
+  per-object recorder gauge) and open-loop traffic rows
+  (``openloop_ops_per_s`` wall rate plus the gated ``openloop_p99_ms``
+  simulated p99 latency under Poisson load — see
+  :mod:`repro.analysis.openloop`).
 
 Usage::
 
@@ -63,6 +66,7 @@ from bench_gf_kernels import bench_erasure  # noqa: E402
 
 from repro.analysis.experiments import storage_cost_vs_f  # noqa: E402
 from repro.analysis.longrun import run_longrun, run_multi_longrun  # noqa: E402
+from repro.analysis.openloop import run_openloop  # noqa: E402
 from repro.baselines.registry import make_cluster  # noqa: E402
 from repro.consistency.incremental import IncrementalAtomicityChecker  # noqa: E402
 from repro.consistency.stream import StreamingRecorder  # noqa: E402
@@ -112,6 +116,7 @@ GATED_METRICS = {
         "send_path_msgs_per_s",
         "checker_ops_per_s",
         "multiobj_checked_ops_per_s",
+        "openloop_ops_per_s",
     ]
     + [f"{proto.lower()}_completion_ratio" for proto in SIM_PROTOCOLS],
 }
@@ -136,6 +141,9 @@ GATED_METRIC_FACTORS = {
     "stripe_encode_mb_per_s": 3.0,
     "batched_writer_ops_per_s": 3.0,
     "sodaerr_error_decode_mb_per_s": 3.0,
+    # End-to-end wall-clock rate through the open-loop driver: same
+    # host-speed caveat as the longrun rows, so gate loosely.
+    "openloop_ops_per_s": 3.0,
 }
 #: Memory-gauge gates ("lower is better"): the resident-record ceilings of
 #: the streaming paths are deterministic functions of window + client
@@ -148,6 +156,17 @@ GATED_MEMORY_METRICS = {
         "stream_max_resident",
         "longrun_max_resident",
         "multiobj_max_resident",
+    ],
+}
+#: Latency gates ("lower is better"): the open-loop p99 is measured in
+#: *simulated* milliseconds, a deterministic function of the seed and the
+#: cluster's message-delay model — host speed cannot move it, so a quick
+#: run exceeding the committed tail by the regression factor means the
+#: protocol's latency behaviour (or the admission path) itself regressed.
+GATED_LATENCY_METRICS = {
+    "erasure": [],
+    "sim": [
+        "openloop_p99_ms",
     ],
 }
 REGRESSION_FACTOR = 2.0
@@ -298,6 +317,31 @@ def bench_sim(*, quick: bool = False, seed: int = 7) -> Dict[str, object]:
     )
     results["multiobj_max_resident"] = float(multiobj_report.stream_max_resident)
 
+    # Open-loop traffic rows: seeded Poisson arrivals through the bounded
+    # admission queue, latency measured from arrival (queueing included)
+    # into log-bucketed histograms.  The wall rate is gated loosely (host
+    # speed); the p99 is in simulated ms — deterministic for the seed — so
+    # it gates the protocol/admission latency behaviour itself.
+    openloop_ops = 1_200 if quick else 12_000
+    openloop_report = run_openloop(
+        "SODA",
+        ops=openloop_ops,
+        epoch_ops=max(400, openloop_ops // 4),
+        jobs=1,
+        arrival="poisson:2",
+        policy="drop",
+        n=5,  # match the other sim rows' cluster shape
+        f=2,
+        num_writers=8,
+        num_readers=8,
+        seed=seed,
+    )
+    results["openloop_ops_per_s"] = openloop_report.ops_per_s
+    results["openloop_events_per_s"] = (
+        openloop_report.events / openloop_report.wall_s
+    )
+    results["openloop_p99_ms"] = openloop_report.p99
+
     return {
         "params": {
             "n": 5,
@@ -315,6 +359,8 @@ def bench_sim(*, quick: bool = False, seed: int = 7) -> Dict[str, object]:
             "multiobj_operations": multiobj_ops,
             "multiobj_objects": 8,
             "multiobj_key_dist": "zipf:1.1",
+            "openloop_operations": openloop_ops,
+            "openloop_arrival": "poisson:2",
             "seed": seed,
         },
         "results": results,
@@ -356,7 +402,7 @@ def check_regressions(
     """Compare gated metrics; returns a list of failure strings."""
     failures = []
 
-    def gate(metrics, *, lower_is_better: bool) -> None:
+    def gate(metrics, *, lower_is_better: bool, suffix: str = "") -> None:
         for metric in metrics:
             base = baseline["results"].get(metric)
             now = current["results"].get(metric)
@@ -367,11 +413,9 @@ def check_regressions(
             if lower_is_better:
                 bad = now > base * factor
                 verb = "grew"
-                suffix = " — the streaming path's resident-memory bound regressed"
             else:
                 bad = now * factor < base
                 verb = "regressed"
-                suffix = ""
             if bad:
                 failures.append(
                     f"{benchmark}: {metric} {verb} >{factor:.2f}x "
@@ -379,7 +423,16 @@ def check_regressions(
                 )
 
     gate(GATED_METRICS[benchmark], lower_is_better=False)
-    gate(GATED_MEMORY_METRICS[benchmark], lower_is_better=True)
+    gate(
+        GATED_MEMORY_METRICS[benchmark],
+        lower_is_better=True,
+        suffix=" — the streaming path's resident-memory bound regressed",
+    )
+    gate(
+        GATED_LATENCY_METRICS[benchmark],
+        lower_is_better=True,
+        suffix=" — the open-loop latency tail regressed",
+    )
     return failures
 
 
@@ -419,7 +472,11 @@ def main(argv=None) -> int:
         path = args.output_dir / f"BENCH_{name}.json"
         print(f"[bench] running {name} ({'quick' if args.quick else 'full'}) ...")
         payload = make_payload(name, runner())
-        for metric in GATED_METRICS[name] + GATED_MEMORY_METRICS[name]:
+        for metric in (
+            GATED_METRICS[name]
+            + GATED_MEMORY_METRICS[name]
+            + GATED_LATENCY_METRICS[name]
+        ):
             print(f"[bench]   {metric} = {payload['results'][metric]:.2f}")
         if args.dump_dir is not None:
             dump_path = args.dump_dir / f"BENCH_{name}.quick.json"

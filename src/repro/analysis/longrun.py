@@ -82,6 +82,23 @@ def _epoch_marker(epoch_index: int) -> bytes:
     return f"<longrun-epoch-{epoch_index}>".encode()
 
 
+def _require_complete(stats, context: str) -> None:
+    """Refuse to aggregate a truncated run.
+
+    A run whose event budget was exhausted mid-flight describes a *prefix*
+    of the requested workload; folding it into a merged report would
+    silently understate every counter and verdict.  The epoch points call
+    this right after the driver returns, so a truncated epoch aborts the
+    whole analysis instead of polluting it.
+    """
+    if getattr(stats, "truncated", False):
+        raise RuntimeError(
+            f"{context} was truncated by its event budget "
+            f"({stats.completed} operations completed); rerun with a larger "
+            f"max_events instead of aggregating a partial epoch"
+        )
+
+
 class _RecordTap(StreamObserver):
     """Optional per-epoch capture of every operation (small runs only).
 
@@ -140,6 +157,7 @@ def longrun_epoch_point(
     keep_records: bool,
     cluster_kwargs: Mapping[str, object],
     seed: int,
+    max_events: Optional[int] = None,
 ) -> Dict[str, object]:
     """One epoch of a long run: a fresh cluster streamed for ``ops`` ops.
 
@@ -176,8 +194,10 @@ def longrun_epoch_point(
         mean_gap=mean_gap,
         seed=seed + 1,
         value_prefix=f"e{epoch_index}|",
+        max_events=max_events,
     )
     wall_s = time.perf_counter() - start
+    _require_complete(stats, f"longrun epoch {epoch_index}")
     batcher.flush()
     verdict = shard_verdict_from_checker(epoch_index, checker)
     return {
@@ -624,6 +644,7 @@ def multiobj_epoch_point(
     cluster_kwargs: Mapping[str, object],
     seed: int,
     checker_workers: int = 1,
+    max_events: Optional[int] = None,
 ) -> Dict[str, object]:
     """One epoch of a multi-object long run: a fresh namespace streamed
     for ``ops`` keyed operations over one shared simulation.
@@ -671,8 +692,10 @@ def multiobj_epoch_point(
         mean_gap=mean_gap,
         seed=seed + 1,
         value_prefix=f"e{epoch_index}|",
+        max_events=max_events,
     )
     wall_s = time.perf_counter() - start
+    _require_complete(stats, f"multiobj longrun epoch {epoch_index}")
     mux.finish()
     object_payloads = []
     for j in range(objects):

@@ -1,0 +1,526 @@
+"""Epoch-sharded open-loop traffic experiments (``experiment openloop``).
+
+The open-loop counterpart of :mod:`repro.analysis.longrun`: a long
+arrival-process-driven run is cut into epochs, each epoch simulates a
+fresh cluster (or namespace) on its own derived seed via
+:meth:`~repro.runtime.cluster.RegisterCluster.run_open_loop`, and the
+per-epoch results are folded in epoch order.  The epoch grid depends only
+on the parameters — never on ``jobs`` — so the report and both artefacts
+are byte-identical for any worker count (the CI smoke diffs ``--jobs 1``
+against ``--jobs 2``).
+
+Where the longrun engine aggregates *consistency* (shard verdicts merged
+into one register history), this engine aggregates *load*: admission
+counters sum, and per-epoch bounded-memory latency histograms
+(:class:`~repro.metrics.latency.LatencyHistogram`) merge associatively
+into fleet-wide p50/p99/p999 and SLO attainment.  A truncated epoch
+(event budget exhausted) raises instead of polluting the merge — same
+policy as longrun.
+
+The simulated-time unit is read as one millisecond for reporting, which
+makes ``p99`` directly the ``openloop_p99_ms`` benchmark row.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.longrun import _require_complete, default_protocol_kwargs
+from repro.analysis.sweep import SweepSpec, iter_sweep
+from repro.baselines.registry import make_cluster
+from repro.metrics.latency import LatencyHistogram
+from repro.runtime.namespace import MultiRegisterCluster
+from repro.workloads.arrivals import parse_arrival
+from repro.workloads.keyed import parse_key_dist
+
+#: Artefact schema version (bump on breaking changes to the JSON layout).
+OPENLOOP_SCHEMA_VERSION = 1
+
+
+def openloop_epoch_point(
+    *,
+    protocol: str,
+    n: int,
+    f: int,
+    num_writers: int,
+    num_readers: int,
+    objects: int,
+    key_dist_spec: str,
+    arrival_spec: str,
+    read_fraction: float,
+    policy: str,
+    queue_per_server: int,
+    op_timeout: Optional[float],
+    epoch_index: int,
+    ops: int,
+    value_size: int,
+    keep_samples: bool,
+    cluster_kwargs: Mapping[str, object],
+    seed: int,
+    max_events: Optional[int] = None,
+) -> Dict[str, object]:
+    """One epoch of an open-loop run: a fresh cluster under arrival load.
+
+    Module-level (hence picklable under the ``spawn`` start method).  The
+    arrival process rides as its :func:`~repro.workloads.arrivals.parse_arrival`
+    spec string, so the grid stays canonical however the process was
+    constructed.  The payload carries the admission counters and the two
+    per-kind latency histograms; raises on a truncated epoch.
+    """
+    arrival = parse_arrival(arrival_spec)
+    driver_kwargs = dict(
+        operations=ops,
+        arrival=arrival,
+        read_fraction=read_fraction,
+        policy=policy,
+        queue_per_server=queue_per_server,
+        op_timeout=op_timeout,
+        value_size=value_size,
+        seed=seed + 1,
+        value_prefix=f"e{epoch_index}|",
+        keep_samples=keep_samples,
+        max_events=max_events,
+    )
+    start = time.perf_counter()
+    if objects == 1:
+        cluster = make_cluster(
+            protocol,
+            n,
+            f,
+            num_writers=num_writers,
+            num_readers=num_readers,
+            seed=seed,
+            **dict(cluster_kwargs),
+        )
+        stats = cluster.run_open_loop(**driver_kwargs)
+    else:
+        namespace = MultiRegisterCluster(
+            protocol,
+            n,
+            f,
+            objects=objects,
+            num_writers=num_writers,
+            num_readers=num_readers,
+            seed=seed,
+            protocol_kwargs=dict(cluster_kwargs),
+        )
+        stats = namespace.run_open_loop(
+            key_dist=parse_key_dist(key_dist_spec), **driver_kwargs
+        )
+    wall_s = time.perf_counter() - start
+    _require_complete(stats, f"openloop epoch {epoch_index}")
+    samples = stats.samples
+    return {
+        "epoch": epoch_index,
+        "seed": seed,
+        "ops": ops,
+        "arrived": stats.arrived,
+        "admitted": stats.admitted,
+        "issued": stats.issued,
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "rejected": stats.rejected,
+        "shed_reads": stats.shed_reads,
+        "timed_out": stats.timed_out,
+        "writes": stats.writes,
+        "reads": stats.reads,
+        "queued_at_end": stats.queued_at_end,
+        "stall_time": float(stats.stall_time),
+        "end_time": float(stats.end_time),
+        "events": stats.events,
+        "read_latency": stats.read_latency,
+        "write_latency": stats.write_latency,
+        "samples": samples,
+        "wall_s": wall_s,
+    }
+
+
+@dataclass(frozen=True)
+class OpenLoopEpochRow:
+    """Deterministic per-epoch artefact row."""
+
+    index: int
+    seed: int
+    ops: int
+    arrived: int
+    admitted: int
+    issued: int
+    completed: int
+    failed: int
+    rejected: int
+    shed_reads: int
+    timed_out: int
+    writes: int
+    reads: int
+    queued_at_end: int
+    stall_time: float
+    end_time: float
+    events: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def _jsonable_float(value: float) -> Optional[float]:
+    """JSON-safe float: the nan/inf sentinels become ``null``."""
+    return None if math.isnan(value) or math.isinf(value) else value
+
+
+def _latency_block(
+    hist: LatencyHistogram, slo: float
+) -> Dict[str, object]:
+    summary = hist.summary()
+    return {
+        "summary": {
+            key: (value if key == "count" else _jsonable_float(value))
+            for key, value in summary.items()
+        },
+        "slo_attainment": _jsonable_float(hist.attainment(slo)),
+        "histogram": hist.to_jsonable(),
+    }
+
+
+@dataclass
+class OpenLoopReport:
+    """Outcome of one sharded open-loop run.
+
+    Everything in :meth:`to_jsonable` is a deterministic function of the
+    run parameters — wall-clock timing and the jobs count are deliberately
+    excluded so artefacts of the same run diff clean across any ``jobs``.
+    """
+
+    protocol: str
+    n: int
+    f: int
+    params: Dict[str, object]
+    epochs: List[OpenLoopEpochRow]
+    read_latency: LatencyHistogram
+    write_latency: LatencyHistogram
+    slo: float
+    wall_s: float
+    jobs: int
+    samples: Optional[Dict[str, List[float]]] = None
+
+    # -- aggregate accessors ------------------------------------------------
+    def _sum(self, attribute: str) -> int:
+        return sum(getattr(row, attribute) for row in self.epochs)
+
+    @property
+    def arrived(self) -> int:
+        return self._sum("arrived")
+
+    @property
+    def admitted(self) -> int:
+        return self._sum("admitted")
+
+    @property
+    def issued(self) -> int:
+        return self._sum("issued")
+
+    @property
+    def completed(self) -> int:
+        return self._sum("completed")
+
+    @property
+    def failed(self) -> int:
+        return self._sum("failed")
+
+    @property
+    def rejected(self) -> int:
+        return self._sum("rejected")
+
+    @property
+    def shed_reads(self) -> int:
+        return self._sum("shed_reads")
+
+    @property
+    def timed_out(self) -> int:
+        return self._sum("timed_out")
+
+    @property
+    def writes(self) -> int:
+        return self._sum("writes")
+
+    @property
+    def reads(self) -> int:
+        return self._sum("reads")
+
+    @property
+    def events(self) -> int:
+        return self._sum("events")
+
+    @property
+    def sim_time(self) -> float:
+        return sum(row.end_time for row in self.epochs)
+
+    def latency(self) -> LatencyHistogram:
+        """Reads and writes merged (a fresh copy)."""
+        return self.read_latency.copy().merge(self.write_latency)
+
+    @property
+    def p50(self) -> float:
+        return self.latency().percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.latency().percentile(99.0)
+
+    @property
+    def p999(self) -> float:
+        return self.latency().percentile(99.9)
+
+    def slo_attainment(self) -> float:
+        return self.latency().attainment(self.slo)
+
+    @property
+    def ops_per_s(self) -> float:
+        """Wall-clock simulation throughput (completed ops per second)."""
+        return self.completed / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def sim_ops_per_s(self) -> float:
+        """Sustained simulated throughput (completed ops per simulated
+        second, with one simulated time unit read as 1 ms)."""
+        sim_seconds = self.sim_time / 1_000.0
+        return self.completed / sim_seconds if sim_seconds > 0 else float("inf")
+
+    # -- serialisation ------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "schema_version": OPENLOOP_SCHEMA_VERSION,
+            "kind": "openloop",
+            "protocol": self.protocol,
+            "params": dict(self.params),
+            "totals": {
+                "arrived": self.arrived,
+                "admitted": self.admitted,
+                "issued": self.issued,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "shed_reads": self.shed_reads,
+                "timed_out": self.timed_out,
+                "writes": self.writes,
+                "reads": self.reads,
+                "events": self.events,
+                "sim_time": self.sim_time,
+                "sim_ops_per_s": _jsonable_float(self.sim_ops_per_s),
+            },
+            "latency": {
+                "read": _latency_block(self.read_latency, self.slo),
+                "write": _latency_block(self.write_latency, self.slo),
+                "all": _latency_block(self.latency(), self.slo),
+            },
+            "slo_ms": self.slo,
+            "epochs": [row.as_dict() for row in self.epochs],
+        }
+
+
+def run_openloop(
+    protocol: str = "SODA",
+    *,
+    ops: int = 100_000,
+    epoch_ops: int = 25_000,
+    jobs: int = 1,
+    objects: int = 1,
+    key_dist: str = "uniform",
+    arrival: str = "poisson:4",
+    read_fraction: float = 0.5,
+    policy: str = "drop",
+    queue_per_server: int = 4,
+    op_timeout: Optional[float] = None,
+    slo: float = 10.0,
+    n: int = 6,
+    f: int = 2,
+    num_writers: int = 8,
+    num_readers: int = 8,
+    value_size: int = 32,
+    seed: int = 0,
+    keep_samples: bool = False,
+    protocol_kwargs: Optional[Mapping[str, object]] = None,
+) -> OpenLoopReport:
+    """Run one long open-loop execution, sharded into epochs over ``jobs``.
+
+    ``arrival``/``key_dist`` are spec strings (``poisson:4``,
+    ``zipf:1.1``) — parsed per epoch, recorded verbatim in the artefact
+    params.  Each epoch restarts the arrival clock at zero on a fresh
+    cluster; counters sum and histograms merge across epochs, so the
+    percentiles describe the whole run.  ``slo`` is the latency target (in
+    simulated milliseconds) for the attainment numbers.  Defaults mirror
+    ``repro.cli experiment openloop``.
+    """
+    if ops < 1:
+        raise ValueError("ops must be positive")
+    if epoch_ops < 1:
+        raise ValueError("epoch_ops must be positive")
+    if objects < 1:
+        raise ValueError("need at least one object")
+    if not slo > 0:
+        raise ValueError("slo must be positive")
+    # Fail fast (and canonicalise) before any epoch simulates.
+    arrival_spec = parse_arrival(arrival).spec()
+    key_dist_spec = parse_key_dist(key_dist).spec()
+    cluster_kwargs = (
+        dict(protocol_kwargs)
+        if protocol_kwargs is not None
+        else default_protocol_kwargs(protocol)
+    )
+    epochs = math.ceil(ops / epoch_ops)
+    grid = tuple(
+        {
+            "protocol": protocol,
+            "n": n,
+            "f": f,
+            "num_writers": num_writers,
+            "num_readers": num_readers,
+            "objects": objects,
+            "key_dist_spec": key_dist_spec,
+            "arrival_spec": arrival_spec,
+            "read_fraction": read_fraction,
+            "policy": policy,
+            "queue_per_server": queue_per_server,
+            "op_timeout": op_timeout,
+            "epoch_index": k,
+            "ops": min(epoch_ops, ops - k * epoch_ops),
+            "value_size": value_size,
+            "keep_samples": keep_samples,
+            "cluster_kwargs": cluster_kwargs,
+        }
+        for k in range(epochs)
+    )
+    spec = SweepSpec(
+        name=f"openloop-{protocol.lower()}",
+        fn=openloop_epoch_point,
+        grid=grid,
+        base_seed=seed,
+        description=(
+            f"open-loop {protocol} run, {ops} arrivals ({arrival_spec}) "
+            f"over {epochs} epochs"
+        ),
+    )
+
+    rows: List[OpenLoopEpochRow] = []
+    read_latency = LatencyHistogram()
+    write_latency = LatencyHistogram()
+    samples: Optional[Dict[str, List[float]]] = (
+        {"read": [], "write": []} if keep_samples else None
+    )
+
+    def consume(result: Dict[str, object]) -> None:
+        """Fold one finished epoch into the report state (epoch order)."""
+        rows.append(
+            OpenLoopEpochRow(
+                index=result["epoch"],
+                seed=result["seed"],
+                ops=result["ops"],
+                arrived=result["arrived"],
+                admitted=result["admitted"],
+                issued=result["issued"],
+                completed=result["completed"],
+                failed=result["failed"],
+                rejected=result["rejected"],
+                shed_reads=result["shed_reads"],
+                timed_out=result["timed_out"],
+                writes=result["writes"],
+                reads=result["reads"],
+                queued_at_end=result["queued_at_end"],
+                stall_time=result["stall_time"],
+                end_time=result["end_time"],
+                events=result["events"],
+            )
+        )
+        read_latency.merge(result["read_latency"])
+        write_latency.merge(result["write_latency"])
+        if samples is not None and result["samples"] is not None:
+            samples["read"].extend(result["samples"]["read"])
+            samples["write"].extend(result["samples"]["write"])
+
+    # Same pipelined, order-restoring fold as run_longrun: epochs stream
+    # out of the pool as they finish, histograms merge in epoch order, so
+    # every artefact byte is identical for any jobs count.
+    start = time.perf_counter()
+    buffered: Dict[int, Dict[str, object]] = {}
+    next_epoch = 0
+    for index, result in iter_sweep(spec, jobs=jobs):
+        buffered[index] = result
+        while next_epoch in buffered:
+            consume(buffered.pop(next_epoch))
+            next_epoch += 1
+    wall_s = time.perf_counter() - start
+    return OpenLoopReport(
+        protocol=protocol,
+        n=n,
+        f=f,
+        params={
+            "ops": ops,
+            "epoch_ops": epoch_ops,
+            "epochs": epochs,
+            "objects": objects,
+            "key_dist": key_dist_spec,
+            "arrival": arrival_spec,
+            "read_fraction": read_fraction,
+            "policy": policy,
+            "queue_per_server": queue_per_server,
+            "op_timeout": op_timeout,
+            "slo_ms": slo,
+            "n": n,
+            "f": f,
+            "num_writers": num_writers,
+            "num_readers": num_readers,
+            "value_size": value_size,
+            "seed": seed,
+            **{
+                f"protocol_{key}": value
+                for key, value in sorted(cluster_kwargs.items())
+            },
+        },
+        epochs=rows,
+        read_latency=read_latency,
+        write_latency=write_latency,
+        slo=slo,
+        wall_s=wall_s,
+        jobs=jobs,
+        samples=samples,
+    )
+
+
+# ----------------------------------------------------------------------
+# committed artefacts
+# ----------------------------------------------------------------------
+def artefact_paths(report: OpenLoopReport, directory: Path) -> Tuple[Path, Path]:
+    arrival_kind = str(report.params["arrival"]).split(":", 1)[0]
+    stem = (
+        f"openloop_{report.protocol.lower()}_{arrival_kind}"
+        f"_{report.params['objects']}x{report.params['ops']}"
+    )
+    return directory / f"{stem}.json", directory / f"{stem}.csv"
+
+
+def write_openloop_artefacts(
+    report: OpenLoopReport, directory: Path
+) -> Tuple[Path, Path]:
+    """Write the deterministic JSON report and per-epoch CSV under
+    ``directory`` (typically ``results/``); returns the two paths.
+
+    Both files are byte-identical for any jobs count — the CI smoke job
+    relies on ``diff`` of a ``--jobs 1`` and a ``--jobs 2`` run.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    json_path, csv_path = artefact_paths(report, directory)
+    json_path.write_text(
+        json.dumps(report.to_jsonable(), indent=2, sort_keys=True) + "\n"
+    )
+    fieldnames = list(report.epochs[0].as_dict()) if report.epochs else []
+    with csv_path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in report.epochs:
+            writer.writerow(row.as_dict())
+    return json_path, csv_path

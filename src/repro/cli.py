@@ -32,6 +32,14 @@ multi-object namespace engine: N independent registers multiplexed over
 one shared simulation per epoch, keyed load split by the distribution
 (object 0 is the hottest key), checked per object and merged into
 per-object + aggregate namespace verdicts (``results/multiobj_*``).
+
+``experiment openloop --arrival poisson:4 --jobs J`` drives the cluster
+open-loop: arrivals follow a seeded arrival process (Poisson, diurnal,
+burst, or trace replay) independent of completions, a bounded admission
+queue applies ``--admission`` (drop, shed-reads, backpressure), and
+latency percentiles come from bounded-memory mergeable histograms; the
+artefacts under ``--results-dir`` are byte-identical for every jobs
+count.
 """
 
 from __future__ import annotations
@@ -48,10 +56,13 @@ from repro.analysis.longrun import (
     write_longrun_artefacts,
     write_multiobj_artefacts,
 )
+from repro.analysis.openloop import run_openloop, write_openloop_artefacts
 from repro.analysis.sweeps import available_sweeps, rows_as_dicts, run_named_sweep
 from repro.analysis.tables import format_table, generate_table1
 from repro.baselines.registry import available_protocols, make_cluster
 from repro.erasure.gf import GF_BACKENDS, set_default_backend
+from repro.metrics.latency import format_latency
+from repro.runtime.openloop import ADMISSION_POLICIES
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -59,7 +70,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     for name in available_protocols():
         print(f"  {name}")
     print("\nExperiments: storage, write-cost, read-cost, latency, sodaerr, "
-          "atomicity, tradeoff, sweep, longrun (see `experiment -h`)")
+          "atomicity, tradeoff, sweep, longrun, openloop (see `experiment -h`)")
     return 0
 
 
@@ -91,7 +102,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _format_cell(value: object) -> str:
     if isinstance(value, float):
-        return f"{value:.3f}"
+        # nan means "no completed operations" (see LatencyStats.empty);
+        # format_latency renders the sentinel as '-' instead of 'nan'.
+        return format_latency(value)
     return str(value)
 
 
@@ -227,6 +240,73 @@ def _cmd_longrun(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_openloop(args: argparse.Namespace) -> int:
+    if args.objects < 1:
+        print(f"--objects must be at least 1, got {args.objects}", file=sys.stderr)
+        return 2
+    num_writers = max(1, args.clients // 2)
+    num_readers = max(1, args.clients - num_writers)
+    try:
+        report = run_openloop(
+            args.protocol,
+            ops=args.ops,
+            epoch_ops=args.epoch_ops,
+            jobs=args.jobs,
+            objects=args.objects,
+            key_dist=args.key_dist,
+            arrival=args.arrival,
+            read_fraction=args.read_fraction,
+            policy=args.admission,
+            queue_per_server=args.queue_per_server,
+            op_timeout=args.op_timeout if args.op_timeout > 0 else None,
+            slo=args.slo,
+            n=args.n,
+            f=args.f,
+            num_writers=num_writers,
+            num_readers=num_readers,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"openloop: {exc}", file=sys.stderr)
+        return 2
+    summary = report.latency().summary()
+    print(
+        f"{report.protocol} openloop: {report.arrived} arrivals "
+        f"({report.params['arrival']}) over {len(report.epochs)} epochs "
+        f"({args.jobs} jobs), policy {report.params['policy']}"
+    )
+    print(
+        f"admission       : {report.admitted} admitted, {report.rejected} "
+        f"rejected, {report.shed_reads} reads shed, {report.timed_out} timed out"
+    )
+    in_flight = report.issued - report.completed - report.failed
+    print(
+        f"outcome         : {report.completed} completed "
+        f"({report.writes} writes / {report.reads} reads), "
+        f"{report.failed} failed, {in_flight} in flight at end"
+    )
+    print(
+        f"throughput      : {report.ops_per_s:.0f} ops/s wall, "
+        f"{report.sim_ops_per_s:.0f} ops/s sustained "
+        f"({report.events} simulated events in {report.wall_s:.1f}s)"
+    )
+    print(
+        f"latency (ms)    : p50={format_latency(report.p50)} "
+        f"p99={format_latency(report.p99)} p999={format_latency(report.p999)} "
+        f"mean={format_latency(summary['mean'])}"
+    )
+    print(
+        f"slo             : {format_latency(100.0 * report.slo_attainment(), precision=2)}% "
+        f"of completed ops within {report.slo:g} ms"
+    )
+    if not args.no_artefacts:
+        json_path, csv_path = write_openloop_artefacts(
+            report, Path(args.results_dir)
+        )
+        print(f"artefacts       : {json_path} {csv_path}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     name = args.name.replace("_", "-")
     if name == "sweep":
@@ -240,6 +320,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 2
     if name == "longrun":
         return _cmd_longrun(args)
+    if name == "openloop":
+        return _cmd_openloop(args)
     if name == "storage":
         for p in exp.storage_cost_vs_f(n=args.n, seed=args.seed, jobs=args.jobs):
             print(f"f={p.f}: measured={p.measured:.3f} predicted={p.predicted:.3f}")
@@ -256,8 +338,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         r = exp.latency_experiment(
             n=args.n, f=args.f, delta=args.delta, seed=args.seed, jobs=args.jobs
         )
-        print(f"max write latency={r.max_write_latency:.2f} (bound {r.write_bound:.2f})")
-        print(f"max read  latency={r.max_read_latency:.2f} (bound {r.read_bound:.2f})")
+        print(
+            f"max write latency={format_latency(r.max_write_latency, precision=2)} "
+            f"(bound {r.write_bound:.2f})"
+        )
+        print(
+            f"max read  latency={format_latency(r.max_read_latency, precision=2)} "
+            f"(bound {r.read_bound:.2f})"
+        )
     elif name == "sodaerr":
         for p in exp.sodaerr_experiment(n=args.n, f=args.f, seed=args.seed, jobs=args.jobs):
             print(
@@ -331,7 +419,9 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         help="storage | write-cost | read-cost | latency | sodaerr | atomicity | "
         "tradeoff | sweep (sweep runs any registered sweep, sharded) | "
-        "longrun (streamed real-cluster run with sharded online checking)",
+        "longrun (streamed real-cluster run with sharded online checking) | "
+        "openloop (open-loop traffic engine with admission control and "
+        "bounded-memory latency percentiles)",
     )
     p_exp.add_argument(
         "sweep_name",
@@ -399,6 +489,53 @@ def build_parser() -> argparse.ArgumentParser:
         "checkers in this many spawned worker processes (verdicts are "
         "byte-identical for any count; >1 is ignored under --jobs>1, "
         "whose pool workers cannot spawn children)",
+    )
+    p_exp.add_argument(
+        "--arrival",
+        default="poisson:4",
+        help="with 'openloop': arrival process, 'poisson[:rate]', "
+        "'diurnal[:rate[:amplitude[:period]]]', "
+        "'burst[:rate_on[:rate_off[:mean_on[:mean_off]]]]' or "
+        "'trace:t1,t2,...' (rates are arrivals per simulated ms)",
+    )
+    p_exp.add_argument(
+        "--admission",
+        default="drop",
+        choices=ADMISSION_POLICIES,
+        help="with 'openloop': what to do when the admission queue is full",
+    )
+    p_exp.add_argument(
+        "--queue-per-server",
+        type=int,
+        default=4,
+        help="with 'openloop': admission queue capacity per server "
+        "(total capacity = this x n)",
+    )
+    p_exp.add_argument(
+        "--op-timeout",
+        type=float,
+        default=0.0,
+        help="with 'openloop': expire queued operations older than this many "
+        "simulated ms at dispatch time (0 disables timeouts)",
+    )
+    p_exp.add_argument(
+        "--read-fraction",
+        type=float,
+        default=0.5,
+        help="with 'openloop': fraction of arrivals that are reads",
+    )
+    p_exp.add_argument(
+        "--slo",
+        type=float,
+        default=10.0,
+        help="with 'openloop': latency SLO threshold in simulated ms",
+    )
+    p_exp.add_argument(
+        "--clients",
+        type=int,
+        default=16,
+        help="with 'openloop': virtual clients per object "
+        "(split evenly between writers and readers)",
     )
     p_exp.set_defaults(func=_cmd_experiment)
 

@@ -11,11 +11,18 @@
 """
 
 from repro.metrics.costs import CommunicationCostTracker, StorageTracker
-from repro.metrics.latency import LatencyStats, LatencyTracker
+from repro.metrics.latency import (
+    LatencyHistogram,
+    LatencyStats,
+    LatencyTracker,
+    format_latency,
+)
 
 __all__ = [
     "CommunicationCostTracker",
     "StorageTracker",
+    "LatencyHistogram",
     "LatencyStats",
     "LatencyTracker",
+    "format_latency",
 ]

@@ -19,6 +19,7 @@ experiments of Table I apples-to-apples.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
@@ -44,7 +45,7 @@ from repro.metrics.latency import LatencyTracker
 from repro.sim.failures import CrashSchedule, FailureInjector
 from repro.sim.network import DelayModel
 from repro.sim.process import Process
-from repro.sim.simulation import Simulation
+from repro.sim.simulation import EventBudgetExceeded, Simulation
 
 
 @dataclass
@@ -77,6 +78,11 @@ class StreamedRunStats:
     reads: int = 0
     end_time: float = 0.0
     events: int = 0
+    #: True when the run exhausted its event budget before quiescence —
+    #: the stats describe a *prefix* of the requested run, not the whole
+    #: thing.  Consumers that aggregate across runs (``experiment
+    #: longrun``) must treat a truncated run as an error, not a result.
+    truncated: bool = False
 
     @property
     def in_flight_at_end(self) -> int:
@@ -436,6 +442,17 @@ class RegisterCluster(ABC):
         )
         try:
             self.run(max_events=budget)
+        except EventBudgetExceeded:
+            # The stats describe a prefix of the run, not the whole thing.
+            # Flag it loudly instead of letting a truncated run masquerade
+            # as a completed one.
+            stats.truncated = True
+            warnings.warn(
+                f"streamed run truncated: event budget of {budget} exhausted "
+                f"after {stats.completed}/{operations} completed operations",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         finally:
             finalize()
         stats.events = self.sim.events_processed - events_before
@@ -592,6 +609,85 @@ class RegisterCluster(ABC):
             stats.end_time = max(stats.end_time, self.sim.now)
 
         return stats, finalize
+
+    # ------------------------------------------------------------------
+    # open-loop runs
+    # ------------------------------------------------------------------
+    def run_open_loop(
+        self,
+        *,
+        operations: int,
+        arrival,
+        read_fraction: float = 0.5,
+        policy: str = "drop",
+        queue_per_server: int = 4,
+        op_timeout: Optional[float] = None,
+        value_size: int = 32,
+        seed: int = 0,
+        value_prefix: str = "",
+        warm_batch: int = 64,
+        keep_samples: bool = False,
+        max_events: Optional[int] = None,
+    ):
+        """Drive ``operations`` arrivals through the cluster open-loop.
+
+        ``arrival`` is an :class:`~repro.workloads.arrivals.ArrivalProcess`
+        fixing the invocation schedule up front — load does not self-limit
+        the way the closed loop does.  Saturation is absorbed by a bounded
+        admission queue (``queue_per_server * n`` entries) under the
+        configured overflow ``policy`` (``drop`` / ``shed-reads`` /
+        ``backpressure``) with ``op_timeout`` queue waits counted as
+        failures; completion latency is measured from arrival (queueing
+        included) into mergeable per-kind latency histograms.  See
+        :mod:`repro.runtime.openloop` for the full mechanics.  Returns
+        :class:`~repro.runtime.openloop.OpenLoopStats`.
+        """
+        from repro.runtime.openloop import begin_open_loop
+
+        events_before = self.sim.events_processed
+        stats, finalize = begin_open_loop(
+            self,
+            operations=operations,
+            arrival=arrival,
+            read_fraction=read_fraction,
+            policy=policy,
+            queue_per_server=queue_per_server,
+            op_timeout=op_timeout,
+            value_size=value_size,
+            seed=seed,
+            value_prefix=value_prefix,
+            warm_batch=warm_batch,
+            keep_samples=keep_samples,
+        )
+        budget = max_events if max_events is not None else max(
+            10_000_000, operations * 2_000
+        )
+        try:
+            self.run(max_events=budget)
+        except EventBudgetExceeded:
+            stats.truncated = True
+            warnings.warn(
+                f"open-loop run truncated: event budget of {budget} "
+                f"exhausted after {stats.completed}/{operations} completed "
+                f"operations",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        finally:
+            finalize()
+        stats.events = self.sim.events_processed - events_before
+        return stats
+
+    def _begin_open_loop(self, **kwargs):
+        """Arm one open-loop run without running the simulation.
+
+        Thin delegate to :func:`repro.runtime.openloop.begin_open_loop`
+        (same ``(stats, finalize)`` contract as :meth:`_begin_streamed`),
+        used by the namespace layer to arm one driver per object.
+        """
+        from repro.runtime.openloop import begin_open_loop
+
+        return begin_open_loop(self, **kwargs)
 
     # ------------------------------------------------------------------
     # failures

@@ -31,6 +31,7 @@ concurrently.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -40,10 +41,13 @@ from repro.baselines.registry import make_cluster
 from repro.consistency.history import OperationRecord
 from repro.consistency.stream import HistorySink
 from repro.metrics.costs import CommunicationCostTracker
+from repro.metrics.latency import LatencyHistogram
 from repro.runtime.cluster import RegisterCluster, StreamedRunStats
+from repro.runtime.openloop import OpenLoopStats
 from repro.sim.failures import CrashSchedule
 from repro.sim.network import DelayModel
-from repro.sim.simulation import Simulation
+from repro.sim.simulation import EventBudgetExceeded, Simulation
+from repro.workloads.arrivals import ArrivalProcess
 from repro.workloads.keyed import KeyDistribution
 
 
@@ -61,6 +65,9 @@ class NamespaceStreamedStats:
     per_object: List[StreamedRunStats] = field(default_factory=list)
     end_time: float = 0.0
     events: int = 0
+    #: True when the shared run exhausted its event budget — every
+    #: object's stats then describe a prefix, not a completed run.
+    truncated: bool = False
 
     @property
     def issued(self) -> int:
@@ -81,6 +88,104 @@ class NamespaceStreamedStats:
     @property
     def reads(self) -> int:
         return sum(s.reads for s in self.per_object)
+
+
+@dataclass
+class NamespaceOpenLoopStats:
+    """Outcome of one namespace-wide open-loop run.
+
+    ``allocation`` is the multinomial split of the operation budget over
+    objects; each object's :class:`~repro.runtime.openloop.OpenLoopStats`
+    carries its own admission counters and latency histograms.  The
+    summed counters and merged histograms (always folded in object order,
+    so they are deterministic) give the namespace-wide view.
+    """
+
+    requested: int
+    allocation: List[int] = field(default_factory=list)
+    per_object: List[OpenLoopStats] = field(default_factory=list)
+    end_time: float = 0.0
+    events: int = 0
+    truncated: bool = False
+
+    def _sum(self, attribute: str) -> int:
+        return sum(getattr(s, attribute) for s in self.per_object)
+
+    @property
+    def arrived(self) -> int:
+        return self._sum("arrived")
+
+    @property
+    def admitted(self) -> int:
+        return self._sum("admitted")
+
+    @property
+    def issued(self) -> int:
+        return self._sum("issued")
+
+    @property
+    def completed(self) -> int:
+        return self._sum("completed")
+
+    @property
+    def failed(self) -> int:
+        return self._sum("failed")
+
+    @property
+    def rejected(self) -> int:
+        return self._sum("rejected")
+
+    @property
+    def shed_reads(self) -> int:
+        return self._sum("shed_reads")
+
+    @property
+    def timed_out(self) -> int:
+        return self._sum("timed_out")
+
+    @property
+    def writes(self) -> int:
+        return self._sum("writes")
+
+    @property
+    def reads(self) -> int:
+        return self._sum("reads")
+
+    @property
+    def queued_at_end(self) -> int:
+        return self._sum("queued_at_end")
+
+    @property
+    def stall_time(self) -> float:
+        return sum(s.stall_time for s in self.per_object)
+
+    @property
+    def read_latency(self) -> LatencyHistogram:
+        merged = LatencyHistogram()
+        for s in self.per_object:
+            merged.merge(s.read_latency)
+        return merged
+
+    @property
+    def write_latency(self) -> LatencyHistogram:
+        merged = LatencyHistogram()
+        for s in self.per_object:
+            merged.merge(s.write_latency)
+        return merged
+
+    def latency(self) -> LatencyHistogram:
+        return self.read_latency.merge(self.write_latency)
+
+    @property
+    def samples(self) -> Optional[Dict[str, List[float]]]:
+        if not any(s.samples is not None for s in self.per_object):
+            return None
+        merged: Dict[str, List[float]] = {"read": [], "write": []}
+        for s in self.per_object:
+            if s.samples is not None:
+                merged["read"].extend(s.samples["read"])
+                merged["write"].extend(s.samples["write"])
+        return merged
 
 
 class MultiRegisterCluster:
@@ -226,6 +331,103 @@ class MultiRegisterCluster:
         )
         try:
             self.sim.run(max_events=budget)
+        except EventBudgetExceeded:
+            stats.truncated = True
+            for per_obj in stats.per_object:
+                per_obj.truncated = True
+            warnings.warn(
+                f"namespace streamed run truncated: event budget of {budget} "
+                f"exhausted after {stats.completed}/{operations} completed "
+                f"operations",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        finally:
+            for finalize in finalizers:
+                finalize()
+        stats.end_time = self.sim.now
+        stats.events = self.sim.events_processed - events_before
+        return stats
+
+    # ------------------------------------------------------------------
+    # open-loop traffic over the whole namespace
+    # ------------------------------------------------------------------
+    def run_open_loop(
+        self,
+        *,
+        operations: int,
+        arrival: ArrivalProcess,
+        key_dist: Optional[KeyDistribution] = None,
+        read_fraction: float = 0.5,
+        policy: str = "drop",
+        queue_per_server: int = 4,
+        op_timeout: Optional[float] = None,
+        value_size: int = 32,
+        seed: int = 0,
+        value_prefix: str = "",
+        warm_batch: int = 64,
+        keep_samples: bool = False,
+        max_events: Optional[int] = None,
+    ) -> NamespaceOpenLoopStats:
+        """Drive ``operations`` open-loop arrivals through the namespace.
+
+        The operation budget is split over objects by one deterministic
+        multinomial draw from ``key_dist`` (uniform by default), and the
+        arrival process is rescaled per object by its popularity
+        (:meth:`~repro.workloads.arrivals.ArrivalProcess.scaled`), so the
+        namespace-wide offered rate matches ``arrival`` while the hot key
+        sees proportionally more traffic.  Each object arms its own
+        open-loop driver (bounded admission queue, policy, timeout) with a
+        derived seed, and one shared simulation run drives them all —
+        reproducible event-for-event for any shard fan-out.  Trace
+        arrivals cannot be rescaled and raise ``ValueError`` here.
+        """
+        if operations < 0:
+            raise ValueError("operations cannot be negative")
+        dist = key_dist if key_dist is not None else KeyDistribution.uniform()
+        rng = np.random.default_rng(seed)
+        allocation = dist.allocate(operations, len(self.objects), rng)
+        probabilities = dist.probabilities(len(self.objects))
+        object_seeds = [
+            int(s) for s in rng.integers(0, 2**63 - 1, size=len(self.objects))
+        ]
+        events_before = self.sim.events_processed
+
+        stats = NamespaceOpenLoopStats(requested=operations, allocation=allocation)
+        finalizers = []
+        for j, (obj, ops_j) in enumerate(zip(self.objects, allocation)):
+            per_obj, finalize = obj._begin_open_loop(
+                operations=ops_j,
+                arrival=arrival.scaled(float(probabilities[j])),
+                read_fraction=read_fraction,
+                policy=policy,
+                queue_per_server=queue_per_server,
+                op_timeout=op_timeout,
+                value_size=value_size,
+                seed=object_seeds[j],
+                value_prefix=f"{value_prefix}o{j}|",
+                warm_batch=warm_batch,
+                keep_samples=keep_samples,
+            )
+            stats.per_object.append(per_obj)
+            finalizers.append(finalize)
+
+        budget = max_events if max_events is not None else max(
+            10_000_000, operations * 2_000
+        )
+        try:
+            self.sim.run(max_events=budget)
+        except EventBudgetExceeded:
+            stats.truncated = True
+            for per_obj in stats.per_object:
+                per_obj.truncated = True
+            warnings.warn(
+                f"namespace open-loop run truncated: event budget of "
+                f"{budget} exhausted after {stats.completed}/{operations} "
+                f"completed operations",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         finally:
             for finalize in finalizers:
                 finalize()

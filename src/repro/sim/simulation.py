@@ -30,6 +30,17 @@ class SimulationError(RuntimeError):
     """Raised when a run hits its safety limits before finishing."""
 
 
+class EventBudgetExceeded(SimulationError):
+    """Raised when a run exhausts its ``max_events`` budget.
+
+    A distinct subclass so drivers that want to degrade gracefully on
+    budget exhaustion (e.g. :meth:`repro.runtime.cluster.RegisterCluster.run_streamed`
+    marking the run *truncated*) can catch exactly this case without
+    swallowing genuine scheduling bugs, which raise the base
+    :class:`SimulationError`.
+    """
+
+
 class Simulation:
     """A deterministic discrete-event simulation.
 
@@ -249,7 +260,7 @@ class Simulation:
                 if deferred:
                     self._drain_deferred()
                 if processed > max_events:
-                    raise SimulationError(
+                    raise EventBudgetExceeded(
                         f"exceeded {max_events} events without reaching quiescence"
                     )
         finally:
@@ -287,7 +298,7 @@ class Simulation:
             self._fire_event(queue.pop())
             processed += 1
             if processed > max_events:
-                raise SimulationError(
+                raise EventBudgetExceeded(
                     f"condition not reached within {max_events} events"
                 )
 

@@ -10,9 +10,20 @@ workloads that exercise the quantities the theorems talk about:
 * :mod:`repro.workloads.scenarios` — hand-crafted scenarios that pin down a
   single variable: a read overlapping exactly ``delta_w`` writes, purely
   sequential (uncontended) operation, crash-heavy executions, and the
-  flaky-disk scenario for SODAerr.
+  flaky-disk scenario for SODAerr;
+* :mod:`repro.workloads.arrivals` — seeded open-loop arrival processes
+  (Poisson / diurnal / burst / trace replay) for the open-loop traffic
+  driver in :mod:`repro.runtime.openloop`.
 """
 
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    parse_arrival,
+)
 from repro.workloads.generator import WorkloadResult, WorkloadSpec, run_workload
 from repro.workloads.keyed import (
     KeyDistribution,
@@ -26,10 +37,16 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "ArrivalProcess",
+    "BurstArrivals",
+    "DiurnalArrivals",
     "KeyDistribution",
+    "PoissonArrivals",
+    "TraceArrivals",
     "WorkloadSpec",
     "WorkloadResult",
     "correlated_crash_schedule",
+    "parse_arrival",
     "parse_key_dist",
     "run_workload",
     "sequential_scenario",

@@ -1,0 +1,156 @@
+"""Tests for the epoch-sharded open-loop analysis engine."""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analysis.longrun import longrun_epoch_point
+from repro.analysis.openloop import (
+    artefact_paths,
+    openloop_epoch_point,
+    run_openloop,
+    write_openloop_artefacts,
+)
+
+
+def small_run(**overrides):
+    defaults = dict(
+        protocol="SODA",
+        ops=400,
+        epoch_ops=100,
+        jobs=1,
+        arrival="poisson:2",
+        n=5,
+        f=2,
+        num_writers=4,
+        num_readers=4,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return run_openloop(defaults.pop("protocol"), **defaults)
+
+
+class TestJobsDeterminism:
+    """The acceptance property: every artefact byte is identical for any
+    --jobs count."""
+
+    def test_report_identical_for_jobs_1_and_2(self):
+        serial = small_run(jobs=1)
+        sharded = small_run(jobs=2)
+        assert json.dumps(serial.to_jsonable(), sort_keys=True) == json.dumps(
+            sharded.to_jsonable(), sort_keys=True
+        )
+
+    def test_multi_object_report_identical_across_jobs(self):
+        serial = small_run(
+            ops=240, epoch_ops=120, objects=3, key_dist="zipf:1.1",
+            arrival="burst:6:0.5:10:20", jobs=1,
+        )
+        sharded = small_run(
+            ops=240, epoch_ops=120, objects=3, key_dist="zipf:1.1",
+            arrival="burst:6:0.5:10:20", jobs=2,
+        )
+        assert serial.to_jsonable() == sharded.to_jsonable()
+
+    def test_artefact_bytes_identical_across_jobs(self, tmp_path):
+        for jobs, sub in ((1, "j1"), (3, "j3")):
+            report = small_run(jobs=jobs)
+            write_openloop_artefacts(report, tmp_path / sub)
+        name = "openloop_soda_poisson_1x400"
+        for suffix in (".json", ".csv"):
+            first = (tmp_path / "j1" / f"{name}{suffix}").read_bytes()
+            second = (tmp_path / "j3" / f"{name}{suffix}").read_bytes()
+            assert first == second
+
+    def test_artefact_paths_stem(self, tmp_path):
+        report = small_run(ops=200, epoch_ops=100)
+        json_path, csv_path = artefact_paths(report, tmp_path)
+        assert json_path.name == "openloop_soda_poisson_1x200.json"
+        assert csv_path.name == "openloop_soda_poisson_1x200.csv"
+
+
+class TestReport:
+    def test_totals_and_epochs_consistent(self):
+        report = small_run()
+        assert len(report.epochs) == 4
+        assert report.arrived == 400
+        assert report.completed == sum(r.completed for r in report.epochs)
+        assert report.completed > 0
+        payload = report.to_jsonable()
+        assert payload["kind"] == "openloop"
+        assert payload["totals"]["completed"] == report.completed
+        assert payload["params"]["arrival"] == "poisson:2"
+        assert len(payload["epochs"]) == 4
+
+    def test_percentiles_cross_validate_against_exact_samples(self):
+        report = small_run(ops=2_000, epoch_ops=500, keep_samples=True)
+        samples = np.array(report.samples["read"] + report.samples["write"])
+        assert len(samples) == report.completed
+        for p, approx in ((50.0, report.p50), (99.0, report.p99)):
+            exact = float(np.percentile(samples, p))
+            assert abs(approx - exact) / exact < 0.03, (p, exact, approx)
+        # SLO attainment against the exact sample fraction.
+        exact_att = float((samples <= report.slo).mean())
+        assert report.slo_attainment() == pytest.approx(exact_att, abs=0.02)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival"):
+            small_run(arrival="bogus")
+        with pytest.raises(ValueError, match="slo"):
+            small_run(slo=0.0)
+
+
+class TestTruncationGuards:
+    def test_openloop_epoch_truncation_raises(self):
+        # A truncated epoch must fail the run, not fold partial counters
+        # into the report.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(RuntimeError, match="truncated"):
+                openloop_epoch_point(
+                    protocol="SODA",
+                    n=5,
+                    f=2,
+                    num_writers=4,
+                    num_readers=4,
+                    objects=1,
+                    key_dist_spec="uniform",
+                    arrival_spec="poisson:2",
+                    read_fraction=0.5,
+                    policy="drop",
+                    queue_per_server=4,
+                    op_timeout=None,
+                    epoch_index=0,
+                    ops=200,
+                    value_size=16,
+                    keep_samples=False,
+                    cluster_kwargs={},
+                    seed=3,
+                    max_events=100,
+                )
+
+    def test_longrun_epoch_truncation_raises(self):
+        # Regression: analysis/longrun used to aggregate a silently
+        # truncated epoch as if it had completed.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(RuntimeError, match="truncated"):
+                longrun_epoch_point(
+                    protocol="SODA",
+                    n=5,
+                    f=2,
+                    num_writers=4,
+                    num_readers=4,
+                    epoch_index=0,
+                    ops=200,
+                    value_size=16,
+                    mean_gap=1.0,
+                    window=64,
+                    frontier_limit=64,
+                    keep_records=False,
+                    cluster_kwargs={},
+                    seed=3,
+                    max_events=100,
+                )

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.workloads.keyed import (
     KeyDistribution,
@@ -66,6 +68,28 @@ class TestDeterminism:
         counts = dist.allocate(50_000, 8, np.random.default_rng(0))
         assert counts[0] > counts[-1]
         assert counts[0] > 50_000 // 8  # hot key above the uniform share
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        theta=st.one_of(
+            st.just(0.0),
+            st.floats(min_value=0.0, max_value=50.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        objects=st.integers(min_value=1, max_value=64),
+        total=st.integers(min_value=0, max_value=100_000),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_allocate_sums_exactly_to_budget(self, theta, objects, total, seed):
+        """Property: every operation lands on exactly one object, for
+        adversarial skew/size combinations (multinomial, so no rounding
+        drift can gain or lose budget)."""
+        counts = KeyDistribution.zipf(theta).allocate(
+            total, objects, np.random.default_rng(seed)
+        )
+        assert len(counts) == objects
+        assert all(c >= 0 for c in counts)
+        assert sum(counts) == total
 
     def test_sample_is_deterministic(self):
         dist = KeyDistribution.zipf(1.0)
