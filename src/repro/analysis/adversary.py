@@ -1,0 +1,707 @@
+"""Adversarial long runs: fault plans, audit reads and detection verdicts.
+
+The long-run engine (:mod:`repro.analysis.longrun`) proves the protocols
+correct under *benign* schedules; this module runs the same sharded
+multi-object epochs under an adversarial
+:class:`~repro.workloads.faults.FaultPlan` — delay stretching inside
+SODA's reader-registration window, servers withholding their coded
+elements below the MDS threshold, partition/heal schedules along a seeded
+cut — with a background :class:`~repro.runtime.audit.AuditPool` probing
+availability on the shared clock.
+
+Each epoch re-materialises the fault plan from its own derived seed
+(``fault_seed(epoch_seed, leg, object)``), so the ground truth — which
+servers withhold, which registers drop below ``k`` surviving elements —
+is part of the deterministic epoch grid.  The epoch payload then carries
+three verdicts per object:
+
+* the **checker** verdict (atomicity must hold even when reads stall —
+  the adversaries drop and delay messages, they never forge them);
+* the **audit** verdict (did the probes flag the register unrecoverable,
+  and when); and
+* the **stall** observation (when did a foreground read first exceed the
+  stall threshold, if ever).
+
+The detection contract under test: every register whose surviving element
+count drops below ``k`` must be flagged by its audit client *before* any
+foreground read stalls (``detected_before_stall``), and no fully
+recoverable register may be flagged (``false_flag``).  A partition that
+isolates ``f`` servers leaves exactly ``n - f = k`` reachable, so a
+correct estimator sits *at* ``k`` and must not flag — the built-in
+false-positive probe.
+
+Sharding follows the long-run contract exactly: the epoch grid is a pure
+function of the parameters, epochs fan out over a spawn pool, and the
+report — checker verdicts, audit columns, detection summary — is
+byte-identical for any ``jobs`` or ``checker_workers`` count.  The CI
+``adversary-smoke`` job diffs the committed artefacts across both axes.
+
+``python -m repro.cli experiment adversary`` is the command-line entry
+point; artefacts land under ``results/`` as ``adversary_*.json`` / ``.csv``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.longrun import (
+    EPOCH_GAP,
+    LONGRUN_SCHEMA_VERSION,
+    _epoch_marker,
+    _qualify,
+    _qualify_violation,
+    _rebase_summary,
+    _require_complete,
+    default_protocol_kwargs,
+)
+from repro.analysis.sweep import SweepSpec, iter_sweep
+from repro.consistency.incremental import Violation
+from repro.consistency.multiplex import ObjectCheckerMux
+from repro.consistency.shardmerge import (
+    NamespaceCheckResult,
+    ShardVerdict,
+    merge_namespace_verdicts,
+)
+from repro.consistency.stream import OperationRecord, StreamObserver
+from repro.runtime.audit import AuditConfig, AuditPool
+from repro.runtime.namespace import MultiRegisterCluster, object_namespace
+from repro.workloads.faults import canonical_fault_spec, fault_seed
+from repro.workloads.keyed import parse_key_dist
+
+
+class _StallTap(StreamObserver):
+    """Per-object foreground stall detector.
+
+    A read *stalls* at ``invoked_at + threshold``: either it completed
+    with a latency above the threshold, or the epoch ended with it still
+    pending at least ``threshold`` after invocation (a parked read whose
+    client never came back).  ``first_stall_at`` is the earliest such
+    instant — the moment a latency monitor would have paged — so the
+    audit's ``first_flagged_at`` can be compared against it directly on
+    the shared clock.
+    """
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = threshold
+        self.first_stall_at: Optional[float] = None
+        self.stalled_reads = 0
+        self._pending: Dict[str, float] = {}
+
+    def _stall(self, at: float) -> None:
+        self.stalled_reads += 1
+        if self.first_stall_at is None or at < self.first_stall_at:
+            self.first_stall_at = at
+
+    def on_invoke(self, record: OperationRecord) -> None:
+        if record.kind == "read":
+            self._pending[record.op_id] = record.invoked_at
+
+    def _settle(self, record: OperationRecord) -> None:
+        invoked = self._pending.pop(record.op_id, None)
+        if invoked is None or record.responded_at is None:
+            return
+        if record.responded_at - invoked > self.threshold:
+            self._stall(invoked + self.threshold)
+
+    def on_complete(self, record: OperationRecord) -> None:
+        self._settle(record)
+
+    def on_failed(self, record: OperationRecord) -> None:
+        self._settle(record)
+
+    def finish(self, end_time: float) -> None:
+        """Count reads still parked at epoch end as stalled."""
+        for invoked in self._pending.values():
+            if invoked + self.threshold <= end_time:
+                self._stall(invoked + self.threshold)
+        self._pending = {}
+
+
+def adversary_epoch_point(
+    *,
+    protocol: str,
+    n: int,
+    f: int,
+    num_writers: int,
+    num_readers: int,
+    objects: int,
+    key_dist_spec: str,
+    faults_spec: str,
+    stall_threshold: float,
+    audit_sample: int,
+    audit_interval: float,
+    audit_confirm: int,
+    audit_rounds: int,
+    audit_start: float,
+    epoch_index: int,
+    ops: int,
+    value_size: int,
+    mean_gap: float,
+    window: int,
+    frontier_limit: int,
+    cluster_kwargs: Mapping[str, object],
+    seed: int,
+    checker_workers: int = 1,
+    max_events: Optional[int] = None,
+) -> Dict[str, object]:
+    """One adversarial epoch: faults materialised from the epoch seed, an
+    audit pool armed, the namespace streamed, three verdicts per object.
+
+    Module-level (picklable under ``spawn``); the payload carries each
+    object's checker shard verdict plus the fault ground truth, the audit
+    report and the stall observation the detection columns derive from.
+    """
+    marker = _epoch_marker(epoch_index)
+    mux = ObjectCheckerMux(
+        objects,
+        window=window,
+        frontier_limit=frontier_limit,
+        initial_value=marker,
+        workers=checker_workers,
+    )
+    taps = [
+        mux.recorders[j].subscribe(_StallTap(stall_threshold))
+        for j in range(objects)
+    ]
+    cluster = MultiRegisterCluster(
+        protocol,
+        n,
+        f,
+        objects=objects,
+        num_writers=num_writers,
+        num_readers=num_readers,
+        seed=seed,
+        initial_value=marker,
+        recorder_factory=mux.recorder,
+        protocol_kwargs=dict(cluster_kwargs),
+    )
+    # Faults derive from the *epoch* seed: every epoch draws fresh victims
+    # and crash instants, so one run covers many adversarial placements.
+    applied = cluster.apply_fault_plan(faults_spec, seed=seed)
+    pool = AuditPool(
+        cluster.sim,
+        [
+            (j, object_namespace(j), obj.server_ids)
+            for j, obj in enumerate(cluster.objects)
+        ],
+        k=cluster.objects[0].code.k,
+        config=AuditConfig(
+            sample=audit_sample,
+            interval=audit_interval,
+            timeout=min(2.0, audit_interval),
+            confirm=audit_confirm,
+            rounds=audit_rounds,
+            start=audit_start,
+        ),
+        seeds=[fault_seed(seed, "audit", j) for j in range(objects)],
+    )
+    pool.start()
+    start = time.perf_counter()
+    stats = cluster.run_streamed(
+        operations=ops,
+        key_dist=parse_key_dist(key_dist_spec),
+        value_size=value_size,
+        mean_gap=mean_gap,
+        seed=seed + 1,
+        value_prefix=f"e{epoch_index}|",
+        max_events=max_events,
+    )
+    wall_s = time.perf_counter() - start
+    _require_complete(stats, f"adversary epoch {epoch_index}")
+    mux.finish()
+    object_payloads = []
+    for j in range(objects):
+        taps[j].finish(stats.end_time)
+        verdict = mux.shard_verdict(epoch_index, j)
+        per_obj = stats.per_object[j]
+        ground = applied.objects[j]
+        audit = pool.clients[j].report()
+        first_stall = taps[j].first_stall_at
+        if ground.below_k:
+            detected_before_stall = audit.flagged and (
+                first_stall is None or audit.first_flagged_at <= first_stall
+            )
+            false_flag = False
+        else:
+            detected_before_stall = True  # nothing to detect
+            false_flag = audit.flagged
+        object_payloads.append(
+            {
+                "allocated": stats.allocation[j],
+                "issued": per_obj.issued,
+                "completed": per_obj.completed,
+                "failed": per_obj.failed,
+                "writes": per_obj.writes,
+                "reads": per_obj.reads,
+                "checker_ok": mux.object_ok(j),
+                "verdict": verdict,
+                "faults": ground.to_jsonable(),
+                "below_k": ground.below_k,
+                "withheld": len(ground.withheld),
+                "surviving_elements": ground.surviving_elements,
+                "isolated": len(ground.isolated),
+                "crashed": len(ground.crashed),
+                "audit": audit.to_jsonable(),
+                "min_estimate": audit.min_estimate,
+                "flagged": audit.flagged,
+                "first_flagged_at": audit.first_flagged_at,
+                "first_stall_at": first_stall,
+                "stalled_reads": taps[j].stalled_reads,
+                "detected_before_stall": detected_before_stall,
+                "false_flag": false_flag,
+            }
+        )
+    return {
+        "epoch": epoch_index,
+        "seed": seed,
+        "ops": ops,
+        "end_time": stats.end_time,
+        "events": stats.events,
+        "max_resident": mux.max_resident,
+        "objects": object_payloads,
+        "wall_s": wall_s,
+    }
+
+
+@dataclass(frozen=True)
+class AdversaryObjectRow:
+    """Deterministic per-(epoch, object) detection row."""
+
+    epoch: int
+    object: int
+    seed: int
+    allocated: int
+    issued: int
+    completed: int
+    failed: int
+    writes: int
+    reads: int
+    checker_ok: bool
+    withheld: int
+    surviving_elements: Optional[int]
+    below_k: bool
+    isolated: int
+    crashed: int
+    min_estimate: int
+    flagged: bool
+    first_flagged_at: Optional[float]
+    first_stall_at: Optional[float]
+    stalled_reads: int
+    detected_before_stall: bool
+    false_flag: bool
+    offset: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class AdversaryEpochRow:
+    """Deterministic per-epoch aggregate row."""
+
+    index: int
+    seed: int
+    ops: int
+    issued: int
+    completed: int
+    failed: int
+    end_time: float
+    offset: float
+    events: int
+    max_resident: int
+    checker_ok: bool
+    below_k_objects: int
+    flagged_objects: int
+    detected_before_stall: bool
+    false_flags: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass
+class AdversaryRunReport:
+    """Outcome of one sharded adversarial run.
+
+    Mirrors :class:`~repro.analysis.longrun.MultiObjectLongRunReport`
+    (namespace checker verdict, per-epoch and per-object rows) and adds
+    the detection verdict: for every object the fault ground truth, the
+    audit columns and the stall comparison.  Wall-clock timing and the
+    jobs count are excluded from :meth:`to_jsonable`, so artefacts diff
+    clean across any ``jobs`` / ``checker_workers``.
+    """
+
+    protocol: str
+    n: int
+    f: int
+    objects: int
+    params: Dict[str, object]
+    epochs: List[AdversaryEpochRow]
+    object_rows: List[AdversaryObjectRow]
+    verdict: NamespaceCheckResult
+    local_violations: Tuple[Tuple[int, Violation], ...]
+    object_faults: List[Dict[str, object]] = field(default_factory=list)
+    stream_max_resident: int = 0
+    wall_s: float = 0.0
+    jobs: int = 1
+
+    # -- aggregate accessors ------------------------------------------------
+    @property
+    def checker_ok(self) -> bool:
+        return self.verdict.ok and all(row.checker_ok for row in self.epochs)
+
+    @property
+    def detection_ok(self) -> bool:
+        """Every below-``k`` register flagged before any foreground stall."""
+        return all(
+            row.detected_before_stall
+            for row in self.object_rows
+            if row.below_k
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.checker_ok and self.detection_ok
+
+    @property
+    def issued(self) -> int:
+        return sum(row.issued for row in self.epochs)
+
+    @property
+    def completed(self) -> int:
+        return sum(row.completed for row in self.epochs)
+
+    @property
+    def failed(self) -> int:
+        return sum(row.failed for row in self.epochs)
+
+    @property
+    def events(self) -> int:
+        return sum(row.events for row in self.epochs)
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.issued / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def detection_summary(self) -> Dict[str, object]:
+        """The run-level detection verdict, one row of booleans/counts."""
+        below = [row for row in self.object_rows if row.below_k]
+        sound = [row for row in self.object_rows if not row.below_k]
+        return {
+            "below_k_rows": len(below),
+            "detected": sum(1 for row in below if row.flagged),
+            "detected_before_stall": sum(
+                1 for row in below if row.detected_before_stall
+            ),
+            "missed": sum(1 for row in below if not row.flagged),
+            "false_flags": sum(1 for row in sound if row.false_flag),
+            "stalled_reads": sum(row.stalled_reads for row in self.object_rows),
+            "all_detected_before_stall": self.detection_ok,
+        }
+
+    # -- serialisation ------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "schema_version": LONGRUN_SCHEMA_VERSION,
+            "kind": "adversary-longrun",
+            "protocol": self.protocol,
+            "params": dict(self.params),
+            "totals": {
+                "issued": self.issued,
+                "completed": self.completed,
+                "failed": self.failed,
+                "events": self.events,
+                "stream_max_resident": self.stream_max_resident,
+            },
+            "detection": self.detection_summary(),
+            "verdict": self.verdict.to_jsonable(),
+            "local_violations": [
+                {
+                    "object": obj,
+                    "kind": v.kind,
+                    "description": v.description,
+                    "op_ids": list(v.op_ids),
+                }
+                for obj, v in self.local_violations
+            ],
+            "object_faults": list(self.object_faults),
+            "epochs": [row.as_dict() for row in self.epochs],
+            "object_rows": [row.as_dict() for row in self.object_rows],
+        }
+
+
+def run_adversary(
+    protocol: str = "SODA",
+    *,
+    ops: int = 100_000,
+    epoch_ops: int = 25_000,
+    jobs: int = 1,
+    objects: int = 8,
+    key_dist: str = "uniform",
+    faults: object = "withhold:1:40:30;partition:2:10:12",
+    n: int = 6,
+    f: int = 2,
+    num_writers: int = 1,
+    num_readers: int = 1,
+    value_size: int = 32,
+    mean_gap: float = 0.25,
+    window: int = 128,
+    frontier_limit: int = 256,
+    seed: int = 0,
+    stall_threshold: float = 25.0,
+    audit_sample: int = 4,
+    audit_interval: float = 2.5,
+    audit_confirm: int = 2,
+    audit_rounds: int = 80,
+    audit_start: float = 1.0,
+    protocol_kwargs: Optional[Mapping[str, object]] = None,
+    checker_workers: int = 1,
+) -> AdversaryRunReport:
+    """Run one adversarial multi-object long run, sharded into epochs.
+
+    Same grid contract as :func:`~repro.analysis.longrun.run_multi_longrun`:
+    the epoch grid (including the canonicalised fault spec and every audit
+    knob) is a pure function of the parameters, so the report is
+    byte-identical for any ``jobs`` / ``checker_workers`` count.
+
+    The default plan withholds one element beyond the MDS slack on every
+    object for 30 time units (``withhold:1:40:30`` — ``n - k + 1`` servers
+    withhold, leaving ``k - 1`` surviving elements) and earlier isolates
+    ``f`` servers along a seeded cut for 12 (``partition:2:10:12`` —
+    exactly ``k`` reachable, the canonical must-not-flag case).
+    """
+    if ops < 1:
+        raise ValueError("ops must be positive")
+    if epoch_ops < 1:
+        raise ValueError("epoch_ops must be positive")
+    if objects < 1:
+        raise ValueError("objects must be positive")
+    if stall_threshold <= 0:
+        raise ValueError("stall_threshold must be positive")
+    faults_spec = canonical_fault_spec(faults)  # the artefact reproduces itself
+    dist_spec = parse_key_dist(key_dist).spec()
+    cluster_kwargs = (
+        dict(protocol_kwargs)
+        if protocol_kwargs is not None
+        else default_protocol_kwargs(protocol)
+    )
+    epochs = math.ceil(ops / epoch_ops)
+    grid = tuple(
+        {
+            "protocol": protocol,
+            "n": n,
+            "f": f,
+            "num_writers": num_writers,
+            "num_readers": num_readers,
+            "objects": objects,
+            "key_dist_spec": dist_spec,
+            "faults_spec": faults_spec,
+            "stall_threshold": stall_threshold,
+            "audit_sample": audit_sample,
+            "audit_interval": audit_interval,
+            "audit_confirm": audit_confirm,
+            "audit_rounds": audit_rounds,
+            "audit_start": audit_start,
+            "epoch_index": k,
+            "ops": min(epoch_ops, ops - k * epoch_ops),
+            "value_size": value_size,
+            "mean_gap": mean_gap,
+            "window": window,
+            "frontier_limit": frontier_limit,
+            "cluster_kwargs": cluster_kwargs,
+            "checker_workers": checker_workers,
+        }
+        for k in range(epochs)
+    )
+    spec = SweepSpec(
+        name=f"adversary-{protocol.lower()}",
+        fn=adversary_epoch_point,
+        grid=grid,
+        base_seed=seed,
+        description=(
+            f"adversarial {protocol} run, {ops} ops over {objects} objects "
+            f"under {faults_spec!r} in {epochs} epochs"
+        ),
+    )
+    epoch_rows: List[AdversaryEpochRow] = []
+    object_rows: List[AdversaryObjectRow] = []
+    object_faults: List[Dict[str, object]] = []
+    shards_by_object: List[List[ShardVerdict]] = [[] for _ in range(objects)]
+    local_violations: List[Tuple[int, Violation]] = []
+    offset = EPOCH_GAP
+
+    def consume(result: Dict[str, object]) -> None:
+        """Fold one finished epoch into the report state (epoch order)."""
+        nonlocal offset
+        k = result["epoch"]
+        epoch_ok = True
+        for j, payload in enumerate(result["objects"]):
+            verdict: ShardVerdict = payload["verdict"]
+            rebased = ShardVerdict(
+                index=k,
+                ops_seen=verdict.ops_seen,
+                reads_checked=verdict.reads_checked,
+                summaries=tuple(
+                    _rebase_summary(s, k, offset) for s in verdict.summaries
+                ),
+                duplicate_claims=tuple(
+                    (key, _qualify(op_id, k) or "?", invoked + offset)
+                    for key, op_id, invoked in verdict.duplicate_claims
+                ),
+                violations=tuple(
+                    _qualify_violation(v, k) for v in verdict.violations
+                ),
+            )
+            shards_by_object[j].append(rebased)
+            local_violations.extend((j, v) for v in rebased.violations)
+            epoch_ok = epoch_ok and payload["checker_ok"]
+            object_faults.append({"epoch": k, **payload["faults"]})
+            object_rows.append(
+                AdversaryObjectRow(
+                    epoch=k,
+                    object=j,
+                    seed=result["seed"],
+                    allocated=payload["allocated"],
+                    issued=payload["issued"],
+                    completed=payload["completed"],
+                    failed=payload["failed"],
+                    writes=payload["writes"],
+                    reads=payload["reads"],
+                    checker_ok=payload["checker_ok"],
+                    withheld=payload["withheld"],
+                    surviving_elements=payload["surviving_elements"],
+                    below_k=payload["below_k"],
+                    isolated=payload["isolated"],
+                    crashed=payload["crashed"],
+                    min_estimate=payload["min_estimate"],
+                    flagged=payload["flagged"],
+                    first_flagged_at=payload["first_flagged_at"],
+                    first_stall_at=payload["first_stall_at"],
+                    stalled_reads=payload["stalled_reads"],
+                    detected_before_stall=payload["detected_before_stall"],
+                    false_flag=payload["false_flag"],
+                    offset=offset,
+                )
+            )
+        epoch_rows.append(
+            AdversaryEpochRow(
+                index=k,
+                seed=result["seed"],
+                ops=result["ops"],
+                issued=sum(p["issued"] for p in result["objects"]),
+                completed=sum(p["completed"] for p in result["objects"]),
+                failed=sum(p["failed"] for p in result["objects"]),
+                end_time=result["end_time"],
+                offset=offset,
+                events=result["events"],
+                max_resident=result["max_resident"],
+                checker_ok=epoch_ok,
+                below_k_objects=sum(
+                    1 for p in result["objects"] if p["below_k"]
+                ),
+                flagged_objects=sum(
+                    1 for p in result["objects"] if p["flagged"]
+                ),
+                detected_before_stall=all(
+                    p["detected_before_stall"] for p in result["objects"]
+                ),
+                false_flags=sum(
+                    1 for p in result["objects"] if p["false_flag"]
+                ),
+            )
+        )
+        offset += result["end_time"] + EPOCH_GAP
+
+    # Pipelined order-restoring fold, exactly as in run_multi_longrun.
+    start = time.perf_counter()
+    buffered: Dict[int, Dict[str, object]] = {}
+    next_epoch = 0
+    for index, result in iter_sweep(spec, jobs=jobs):
+        buffered[index] = result
+        while next_epoch in buffered:
+            consume(buffered.pop(next_epoch))
+            next_epoch += 1
+    merged = merge_namespace_verdicts(shards_by_object, initial_value=None)
+    wall_s = time.perf_counter() - start
+    return AdversaryRunReport(
+        protocol=protocol,
+        n=n,
+        f=f,
+        objects=objects,
+        params={
+            "ops": ops,
+            "epoch_ops": epoch_ops,
+            "epochs": epochs,
+            "objects": objects,
+            "key_dist": dist_spec,
+            "faults": faults_spec,
+            "stall_threshold": stall_threshold,
+            "audit_sample": audit_sample,
+            "audit_interval": audit_interval,
+            "audit_confirm": audit_confirm,
+            "audit_rounds": audit_rounds,
+            "audit_start": audit_start,
+            "n": n,
+            "f": f,
+            "num_writers": num_writers,
+            "num_readers": num_readers,
+            "value_size": value_size,
+            "mean_gap": mean_gap,
+            "window": window,
+            "frontier_limit": frontier_limit,
+            "seed": seed,
+            **{
+                f"protocol_{key}": value
+                for key, value in sorted(cluster_kwargs.items())
+            },
+        },
+        epochs=epoch_rows,
+        object_rows=object_rows,
+        verdict=merged,
+        local_violations=tuple(local_violations),
+        object_faults=object_faults,
+        stream_max_resident=max(row.max_resident for row in epoch_rows),
+        wall_s=wall_s,
+        jobs=jobs,
+    )
+
+
+# ----------------------------------------------------------------------
+# committed artefacts
+# ----------------------------------------------------------------------
+def adversary_artefact_paths(
+    report: AdversaryRunReport, directory: Path
+) -> Tuple[Path, Path]:
+    stem = (
+        f"adversary_{report.protocol.lower()}_"
+        f"{report.objects}x{report.params['ops']}"
+    )
+    return directory / f"{stem}.json", directory / f"{stem}.csv"
+
+
+def write_adversary_artefacts(
+    report: AdversaryRunReport, directory: Path
+) -> Tuple[Path, Path]:
+    """Write the deterministic JSON report and per-(epoch, object) CSV
+    under ``directory``; byte-identical for any ``jobs`` /
+    ``checker_workers`` count (the CI ``adversary-smoke`` job diffs
+    both axes)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    json_path, csv_path = adversary_artefact_paths(report, directory)
+    json_path.write_text(
+        json.dumps(report.to_jsonable(), indent=2, sort_keys=True) + "\n"
+    )
+    fieldnames = list(report.object_rows[0].as_dict()) if report.object_rows else []
+    with csv_path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in report.object_rows:
+            writer.writerow(row.as_dict())
+    return json_path, csv_path

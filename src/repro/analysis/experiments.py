@@ -48,8 +48,8 @@ from repro.consistency import (
 from repro.core.soda.cluster import SodaCluster
 from repro.core.sodaerr.cluster import SodaErrCluster
 from repro.core.tags import TAG_ZERO
-from repro.sim.network import FixedDelay, SlowDisk, UniformDelay
-from repro.sim.failures import CrashSchedule
+from repro.sim.network import FixedDelay, UniformDelay
+from repro.workloads.faults import CrashLeg, FaultPlan, SlowLeg
 from repro.workloads.generator import WorkloadSpec, run_workload
 from repro.workloads.scenarios import (
     concurrent_read_scenario,
@@ -176,7 +176,9 @@ def read_cost_point(*, n: int, f: int, level: int, seed: int) -> ReadCostPoint:
     cluster = SodaCluster(
         n=n, f=f, num_writers=max(1, min(level, 4)), num_readers=1, seed=seed
     )
-    read_op = concurrent_read_scenario(cluster, concurrent_writes=level, seed=seed)
+    read_op = concurrent_read_scenario(
+        cluster, concurrent_writes=level, seed=seed
+    ).read
     delta_w = cluster.measured_delta_w(read_op.op_id)
     return ReadCostPoint(
         n=n,
@@ -480,9 +482,13 @@ def tradeoff_point(*, n: int, f: int, delta: int, seed: int) -> TradeoffPoint:
     casgc = CasGcCluster(
         n=n, f=f, delta=delta, num_writers=max(1, min(delta, 3)), seed=seed
     )
-    casgc_read = concurrent_read_scenario(casgc, concurrent_writes=delta, seed=seed)
+    casgc_read = concurrent_read_scenario(
+        casgc, concurrent_writes=delta, seed=seed
+    ).read
     soda = SodaCluster(n=n, f=f, num_writers=max(1, min(delta, 3)), seed=seed)
-    soda_read = concurrent_read_scenario(soda, concurrent_writes=delta, seed=seed)
+    soda_read = concurrent_read_scenario(
+        soda, concurrent_writes=delta, seed=seed
+    ).read
     return TradeoffPoint(
         delta=delta,
         casgc_storage=casgc.storage_peak(),
@@ -605,11 +611,12 @@ def crash_burst_point(*, n: int, f: int, burst_width: float, seed: int) -> Crash
     """One point of the crash-burst scenario: ``f`` servers die nearly at
     once (correlated failure), operations race the burst."""
     cluster = make_cluster("SODA", n, f, num_writers=2, num_readers=2, seed=seed)
-    rng = cluster.sim.spawn_rng()
-    schedule = CrashSchedule.burst(
-        cluster.server_ids, f, rng, start_range=(1.0, 4.0), width=burst_width
+    applied = cluster.apply_fault_plan(
+        FaultPlan(
+            crash=CrashLeg(count=f, start_lo=1.0, start_hi=4.0, width=burst_width)
+        ),
+        seed=seed,
     )
-    cluster.apply_crash_schedule(schedule)
     spec = WorkloadSpec(
         writes_per_writer=3, reads_per_reader=3, window=8.0, seed=seed + 1
     )
@@ -618,7 +625,7 @@ def crash_burst_point(*, n: int, f: int, burst_width: float, seed: int) -> Crash
         n=n,
         f=f,
         burst_width=burst_width,
-        crashed_servers=len(schedule),
+        crashed_servers=len(applied.objects[0].crashed),
         operations=len(cluster.history),
         completed=cluster.history.completed_count,
         linearizable=bool(check_linearizability(cluster.history, initial_value=b"")),
@@ -669,12 +676,8 @@ def slow_disk_point(
         seed=seed,
         delay_model=UniformDelay(0.1, 1.0),
     )
-    # Wrap the network's delay model after construction so the slow set is
-    # derived from the cluster's real server ids, not a naming convention.
-    cluster.sim.network.delay_model = SlowDisk(
-        cluster.sim.network.delay_model,
-        slow=cluster.server_ids[:slow_servers],
-        extra=extra_delay,
+    cluster.apply_fault_plan(
+        FaultPlan(slow=SlowLeg(count=slow_servers, extra=extra_delay)), seed=seed
     )
     spec = WorkloadSpec(
         writes_per_writer=2, reads_per_reader=2, window=10.0, seed=seed + 1

@@ -66,6 +66,7 @@ from repro.consistency.stream import (
     StreamObserver,
 )
 from repro.runtime.namespace import MultiRegisterCluster
+from repro.workloads.faults import canonical_fault_spec
 from repro.workloads.keyed import parse_key_dist
 
 #: Artefact schema version (bump on breaking changes to the JSON layout).
@@ -157,6 +158,7 @@ def longrun_epoch_point(
     keep_records: bool,
     cluster_kwargs: Mapping[str, object],
     seed: int,
+    faults_spec: str = "none",
     max_events: Optional[int] = None,
 ) -> Dict[str, object]:
     """One epoch of a long run: a fresh cluster streamed for ``ops`` ops.
@@ -187,6 +189,10 @@ def longrun_epoch_point(
         recorder=recorder,
         **dict(cluster_kwargs),
     )
+    if faults_spec != "none":
+        # Faults derive from the epoch seed, so each epoch re-draws its
+        # victims — part of the deterministic grid, independent of jobs.
+        cluster.apply_fault_plan(faults_spec, seed=seed)
     start = time.perf_counter()
     stats = cluster.run_streamed(
         operations=ops,
@@ -417,6 +423,7 @@ def run_longrun(
     seed: int = 0,
     keep_records: bool = False,
     protocol_kwargs: Optional[Mapping[str, object]] = None,
+    faults: object = "none",
 ) -> LongRunReport:
     """Run one long streamed execution, sharded into epochs over ``jobs``.
 
@@ -433,6 +440,7 @@ def run_longrun(
         raise ValueError("ops must be positive")
     if epoch_ops < 1:
         raise ValueError("epoch_ops must be positive")
+    faults_spec = canonical_fault_spec(faults)
     cluster_kwargs = (
         dict(protocol_kwargs)
         if protocol_kwargs is not None
@@ -454,6 +462,7 @@ def run_longrun(
             "frontier_limit": frontier_limit,
             "keep_records": keep_records,
             "cluster_kwargs": cluster_kwargs,
+            "faults_spec": faults_spec,
         }
         for k in range(epochs)
     )
@@ -573,6 +582,9 @@ def run_longrun(
             "window": window,
             "frontier_limit": frontier_limit,
             "seed": seed,
+            # Only fault-injected runs carry the spec, so benign artefacts
+            # keep their pre-FaultPlan byte layout.
+            **({"faults": faults_spec} if faults_spec != "none" else {}),
             # Protocol-specific construction arguments (e.g. CASGC's delta,
             # SODAerr's e), so the artefact reproduces from its own params.
             **{
@@ -644,6 +656,7 @@ def multiobj_epoch_point(
     cluster_kwargs: Mapping[str, object],
     seed: int,
     checker_workers: int = 1,
+    faults_spec: str = "none",
     max_events: Optional[int] = None,
 ) -> Dict[str, object]:
     """One epoch of a multi-object long run: a fresh namespace streamed
@@ -684,6 +697,8 @@ def multiobj_epoch_point(
         recorder_factory=mux.recorder,
         protocol_kwargs=dict(cluster_kwargs),
     )
+    if faults_spec != "none":
+        cluster.apply_fault_plan(faults_spec, seed=seed)
     start = time.perf_counter()
     stats = cluster.run_streamed(
         operations=ops,
@@ -898,6 +913,7 @@ def run_multi_longrun(
     keep_records: bool = False,
     protocol_kwargs: Optional[Mapping[str, object]] = None,
     checker_workers: int = 1,
+    faults: object = "none",
 ) -> MultiObjectLongRunReport:
     """Run one multi-object long streamed execution, sharded into epochs.
 
@@ -921,6 +937,7 @@ def run_multi_longrun(
     if objects < 1:
         raise ValueError("objects must be positive")
     dist_spec = parse_key_dist(key_dist).spec()  # validate + canonicalise
+    faults_spec = canonical_fault_spec(faults)
     cluster_kwargs = (
         dict(protocol_kwargs)
         if protocol_kwargs is not None
@@ -945,6 +962,7 @@ def run_multi_longrun(
             "keep_records": keep_records,
             "cluster_kwargs": cluster_kwargs,
             "checker_workers": checker_workers,
+            "faults_spec": faults_spec,
         }
         for k in range(epochs)
     )
@@ -1085,6 +1103,7 @@ def run_multi_longrun(
             "window": window,
             "frontier_limit": frontier_limit,
             "seed": seed,
+            **({"faults": faults_spec} if faults_spec != "none" else {}),
             **{
                 f"protocol_{key}": value
                 for key, value in sorted(cluster_kwargs.items())

@@ -37,6 +37,7 @@ from repro.baselines.registry import make_cluster
 from repro.metrics.latency import LatencyHistogram
 from repro.runtime.namespace import MultiRegisterCluster
 from repro.workloads.arrivals import parse_arrival
+from repro.workloads.faults import canonical_fault_spec
 from repro.workloads.keyed import parse_key_dist
 
 #: Artefact schema version (bump on breaking changes to the JSON layout).
@@ -63,6 +64,7 @@ def openloop_epoch_point(
     keep_samples: bool,
     cluster_kwargs: Mapping[str, object],
     seed: int,
+    faults_spec: str = "none",
     max_events: Optional[int] = None,
 ) -> Dict[str, object]:
     """One epoch of an open-loop run: a fresh cluster under arrival load.
@@ -98,6 +100,8 @@ def openloop_epoch_point(
             seed=seed,
             **dict(cluster_kwargs),
         )
+        if faults_spec != "none":
+            cluster.apply_fault_plan(faults_spec, seed=seed)
         stats = cluster.run_open_loop(**driver_kwargs)
     else:
         namespace = MultiRegisterCluster(
@@ -110,6 +114,8 @@ def openloop_epoch_point(
             seed=seed,
             protocol_kwargs=dict(cluster_kwargs),
         )
+        if faults_spec != "none":
+            namespace.apply_fault_plan(faults_spec, seed=seed)
         stats = namespace.run_open_loop(
             key_dist=parse_key_dist(key_dist_spec), **driver_kwargs
         )
@@ -344,6 +350,7 @@ def run_openloop(
     seed: int = 0,
     keep_samples: bool = False,
     protocol_kwargs: Optional[Mapping[str, object]] = None,
+    faults: object = "none",
 ) -> OpenLoopReport:
     """Run one long open-loop execution, sharded into epochs over ``jobs``.
 
@@ -366,6 +373,7 @@ def run_openloop(
     # Fail fast (and canonicalise) before any epoch simulates.
     arrival_spec = parse_arrival(arrival).spec()
     key_dist_spec = parse_key_dist(key_dist).spec()
+    faults_spec = canonical_fault_spec(faults)
     cluster_kwargs = (
         dict(protocol_kwargs)
         if protocol_kwargs is not None
@@ -391,6 +399,7 @@ def run_openloop(
             "value_size": value_size,
             "keep_samples": keep_samples,
             "cluster_kwargs": cluster_kwargs,
+            "faults_spec": faults_spec,
         }
         for k in range(epochs)
     )
@@ -475,6 +484,7 @@ def run_openloop(
             "num_readers": num_readers,
             "value_size": value_size,
             "seed": seed,
+            **({"faults": faults_spec} if faults_spec != "none" else {}),
             **{
                 f"protocol_{key}": value
                 for key, value in sorted(cluster_kwargs.items())

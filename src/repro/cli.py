@@ -40,6 +40,13 @@ queue applies ``--admission`` (drop, shed-reads, backpressure), and
 latency percentiles come from bounded-memory mergeable histograms; the
 artefacts under ``--results-dir`` are byte-identical for every jobs
 count.
+
+``--faults`` accepts the unified fault-plan spec
+(:func:`repro.workloads.faults.parse_faults`) on ``longrun``,
+``openloop`` and ``adversary`` alike; ``experiment adversary`` adds a
+background availability-audit pool and reports whether every register
+driven below ``k`` surviving coded elements was flagged before any
+foreground read stalled (``results/adversary_*``).
 """
 
 from __future__ import annotations
@@ -50,6 +57,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import experiments as exp
+from repro.analysis.adversary import run_adversary, write_adversary_artefacts
 from repro.analysis.longrun import (
     run_longrun,
     run_multi_longrun,
@@ -137,6 +145,7 @@ def _cmd_multiobj_longrun(args: argparse.Namespace) -> int:
             f=args.f,
             seed=args.seed,
             checker_workers=args.checker_workers,
+            faults=args.faults,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -200,15 +209,20 @@ def _cmd_longrun(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    report = run_longrun(
-        args.protocol,
-        ops=args.ops,
-        epoch_ops=args.epoch_ops,
-        jobs=args.jobs,
-        n=args.n,
-        f=args.f,
-        seed=args.seed,
-    )
+    try:
+        report = run_longrun(
+            args.protocol,
+            ops=args.ops,
+            epoch_ops=args.epoch_ops,
+            jobs=args.jobs,
+            n=args.n,
+            f=args.f,
+            seed=args.seed,
+            faults=args.faults,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     print(
         f"{report.protocol} longrun: {report.issued} ops issued over "
         f"{len(report.epochs)} epochs ({args.jobs} jobs), "
@@ -265,6 +279,7 @@ def _cmd_openloop(args: argparse.Namespace) -> int:
             num_writers=num_writers,
             num_readers=num_readers,
             seed=args.seed,
+            faults=args.faults,
         )
     except ValueError as exc:
         print(f"openloop: {exc}", file=sys.stderr)
@@ -307,6 +322,74 @@ def _cmd_openloop(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    # 'none' (the shared flag default) means "the canonical adversarial
+    # plan" here — an adversary run with no faults has nothing to detect.
+    faults = (
+        args.faults
+        if args.faults != "none"
+        else "withhold:1:40:30;partition:2:10:12"
+    )
+    try:
+        report = run_adversary(
+            args.protocol,
+            ops=args.ops,
+            epoch_ops=args.epoch_ops,
+            jobs=args.jobs,
+            objects=args.objects,
+            key_dist=args.key_dist,
+            faults=faults,
+            n=args.n,
+            f=args.f,
+            seed=args.seed,
+            stall_threshold=args.stall_threshold,
+            checker_workers=args.checker_workers,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    detection = report.detection_summary()
+    print(
+        f"{report.protocol} adversary run: {report.issued} ops over "
+        f"{report.objects} objects under {report.params['faults']!r}, "
+        f"{len(report.epochs)} epochs ({args.jobs} jobs), "
+        f"{report.completed} completed, {report.failed} failed"
+    )
+    print(
+        f"throughput      : {report.ops_per_s:.0f} ops/s wall "
+        f"({report.events} simulated events in {report.wall_s:.1f}s)"
+    )
+    verdict = report.verdict
+    print(
+        f"namespace       : {'ATOMIC' if report.checker_ok else 'VIOLATIONS'} "
+        f"({verdict.clusters} clusters, {verdict.crossings_tested} crossings "
+        f"tested, {verdict.shards} shards per object)"
+    )
+    print(
+        f"audit detection : {detection['detected']}/{detection['below_k_rows']} "
+        f"below-k registers flagged "
+        f"({detection['detected_before_stall']} before any foreground stall), "
+        f"{detection['missed']} missed, {detection['false_flags']} false flags, "
+        f"{detection['stalled_reads']} stalled reads"
+    )
+    for row in report.object_rows:
+        if row.below_k and not row.detected_before_stall:
+            print(
+                f"  MISSED e{row.epoch}/o{row.object}: "
+                f"{row.surviving_elements} surviving elements, "
+                f"flagged_at={row.first_flagged_at}, "
+                f"first_stall_at={row.first_stall_at}"
+            )
+    for obj, violation in report.local_violations[:5]:
+        print(f"  online o{obj}: {violation}")
+    if not args.no_artefacts:
+        json_path, csv_path = write_adversary_artefacts(
+            report, Path(args.results_dir)
+        )
+        print(f"artefacts       : {json_path} {csv_path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     name = args.name.replace("_", "-")
     if name == "sweep":
@@ -322,6 +405,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return _cmd_longrun(args)
     if name == "openloop":
         return _cmd_openloop(args)
+    if name == "adversary":
+        return _cmd_adversary(args)
     if name == "storage":
         for p in exp.storage_cost_vs_f(n=args.n, seed=args.seed, jobs=args.jobs):
             print(f"f={p.f}: measured={p.measured:.3f} predicted={p.predicted:.3f}")
@@ -421,7 +506,9 @@ def build_parser() -> argparse.ArgumentParser:
         "tradeoff | sweep (sweep runs any registered sweep, sharded) | "
         "longrun (streamed real-cluster run with sharded online checking) | "
         "openloop (open-loop traffic engine with admission control and "
-        "bounded-memory latency percentiles)",
+        "bounded-memory latency percentiles) | "
+        "adversary (multi-object longrun under a fault plan with "
+        "availability-audit reads and detection verdicts)",
     )
     p_exp.add_argument(
         "sweep_name",
@@ -536,6 +623,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="with 'openloop': virtual clients per object "
         "(split evenly between writers and readers)",
+    )
+    p_exp.add_argument(
+        "--faults",
+        default="none",
+        help="with 'longrun'/'openloop'/'adversary': unified fault plan, "
+        "';'-separated legs 'crash[:count[:start_lo[:start_hi[:width]]]]', "
+        "'slow[:count[:extra[:jitter]]]', "
+        "'delayadv[:factor[:start[:duration]]]', "
+        "'withhold[:short[:start[:duration[:objects]]]]', "
+        "'partition[:isolated[:start[:duration]]]' or 'none' "
+        "(e.g. 'withhold:1:40:30;partition:2:10:12'); every leg derives "
+        "from the epoch seed",
+    )
+    p_exp.add_argument(
+        "--stall-threshold",
+        type=float,
+        default=25.0,
+        help="with 'adversary': a foreground read counts as stalled once "
+        "its latency exceeds this many simulated ms; audit flags must "
+        "come earlier",
     )
     p_exp.set_defaults(func=_cmd_experiment)
 

@@ -42,8 +42,9 @@ from repro.erasure.batch import (
 from repro.erasure.mds import CodedElement, MDSCode
 from repro.metrics.costs import CommunicationCostTracker, StorageTracker
 from repro.metrics.latency import LatencyTracker
+from repro.runtime.config import RunConfig, resolve_config
 from repro.sim.failures import CrashSchedule, FailureInjector
-from repro.sim.network import DelayModel
+from repro.sim.network import DelayModel, SlowDisk
 from repro.sim.process import Process
 from repro.sim.simulation import EventBudgetExceeded, Simulation
 
@@ -394,13 +395,15 @@ class RegisterCluster(ABC):
         self,
         *,
         operations: int,
-        value_size: int = 32,
-        mean_gap: float = 0.25,
-        start_window: float = 1.0,
+        value_size: Optional[int] = None,
+        mean_gap: Optional[float] = None,
+        start_window: Optional[float] = None,
         seed: int = 0,
         value_prefix: str = "",
-        warm_batch: int = 64,
+        warm_batch: Optional[int] = None,
         max_events: Optional[int] = None,
+        config: Optional[RunConfig] = None,
+        faults=None,
     ) -> StreamedRunStats:
         """Drive ``operations`` client operations through the live cluster
         in a closed loop, with memory bounded by the client count.
@@ -426,16 +429,27 @@ class RegisterCluster(ABC):
         a fully crashed client set winds the run down (fewer issued
         operations) instead of hanging.  All randomness derives from
         ``seed``, making the run reproducible event-for-event.
+
+        Driver knobs may come from a shared :class:`RunConfig` (``config``);
+        explicit keyword values override it per call.  ``faults`` accepts a
+        :class:`~repro.workloads.faults.FaultPlan` (or its spec string) and
+        applies it before the run via :meth:`apply_fault_plan`.
         """
-        events_before = self.sim.events_processed
-        stats, finalize = self._begin_streamed(
-            operations=operations,
+        cfg = resolve_config(
+            config,
             value_size=value_size,
             mean_gap=mean_gap,
             start_window=start_window,
+            warm_batch=warm_batch,
+        )
+        if faults is not None:
+            self.apply_fault_plan(faults, seed=seed)
+        events_before = self.sim.events_processed
+        stats, finalize = self._begin_streamed(
+            operations=operations,
             seed=seed,
             value_prefix=value_prefix,
-            warm_batch=warm_batch,
+            config=cfg,
         )
         budget = max_events if max_events is not None else max(
             10_000_000, operations * 2_000
@@ -462,12 +476,13 @@ class RegisterCluster(ABC):
         self,
         *,
         operations: int,
-        value_size: int = 32,
-        mean_gap: float = 0.25,
-        start_window: float = 1.0,
+        value_size: Optional[int] = None,
+        mean_gap: Optional[float] = None,
+        start_window: Optional[float] = None,
         seed: int = 0,
         value_prefix: str = "",
-        warm_batch: int = 64,
+        warm_batch: Optional[int] = None,
+        config: Optional[RunConfig] = None,
     ):
         """Arm one closed-loop streamed run without running the simulation.
 
@@ -480,8 +495,17 @@ class RegisterCluster(ABC):
         """
         if operations < 0:
             raise ValueError("operations cannot be negative")
-        if mean_gap < 0 or start_window < 0:
-            raise ValueError("mean_gap and start_window must be non-negative")
+        cfg = resolve_config(
+            config,
+            value_size=value_size,
+            mean_gap=mean_gap,
+            start_window=start_window,
+            warm_batch=warm_batch,
+        )
+        value_size = cfg.value_size
+        mean_gap = cfg.mean_gap
+        start_window = cfg.start_window
+        warm_batch = cfg.warm_batch
         rng = np.random.default_rng(seed)
         stats = StreamedRunStats(requested=operations)
 
@@ -618,16 +642,18 @@ class RegisterCluster(ABC):
         *,
         operations: int,
         arrival,
-        read_fraction: float = 0.5,
-        policy: str = "drop",
-        queue_per_server: int = 4,
+        read_fraction: Optional[float] = None,
+        policy: Optional[str] = None,
+        queue_per_server: Optional[int] = None,
         op_timeout: Optional[float] = None,
-        value_size: int = 32,
+        value_size: Optional[int] = None,
         seed: int = 0,
         value_prefix: str = "",
-        warm_batch: int = 64,
-        keep_samples: bool = False,
+        warm_batch: Optional[int] = None,
+        keep_samples: Optional[bool] = None,
         max_events: Optional[int] = None,
+        config: Optional[RunConfig] = None,
+        faults=None,
     ):
         """Drive ``operations`` arrivals through the cluster open-loop.
 
@@ -641,23 +667,34 @@ class RegisterCluster(ABC):
         included) into mergeable per-kind latency histograms.  See
         :mod:`repro.runtime.openloop` for the full mechanics.  Returns
         :class:`~repro.runtime.openloop.OpenLoopStats`.
+
+        Driver knobs may come from a shared :class:`RunConfig` (``config``);
+        explicit keyword values override it per call.  ``faults`` accepts a
+        :class:`~repro.workloads.faults.FaultPlan` (or its spec string) and
+        applies it before the run via :meth:`apply_fault_plan`.
         """
         from repro.runtime.openloop import begin_open_loop
 
-        events_before = self.sim.events_processed
-        stats, finalize = begin_open_loop(
-            self,
-            operations=operations,
-            arrival=arrival,
+        cfg = resolve_config(
+            config,
             read_fraction=read_fraction,
             policy=policy,
             queue_per_server=queue_per_server,
             op_timeout=op_timeout,
             value_size=value_size,
-            seed=seed,
-            value_prefix=value_prefix,
             warm_batch=warm_batch,
             keep_samples=keep_samples,
+        )
+        if faults is not None:
+            self.apply_fault_plan(faults, seed=seed)
+        events_before = self.sim.events_processed
+        stats, finalize = begin_open_loop(
+            self,
+            operations=operations,
+            arrival=arrival,
+            seed=seed,
+            value_prefix=value_prefix,
+            config=cfg,
         )
         budget = max_events if max_events is not None else max(
             10_000_000, operations * 2_000
@@ -708,6 +745,126 @@ class RegisterCluster(ABC):
                 f"protocol's guarantees would not apply"
             )
         self.failures.apply(schedule)
+
+    def apply_fault_plan(self, plan, *, seed: int = 0, object_index: int = 0):
+        """Materialise a :class:`~repro.workloads.faults.FaultPlan` here.
+
+        ``plan`` may be a plan or its spec string.  Each leg derives its
+        own rng from ``(seed, leg name, object_index)`` via
+        :func:`~repro.workloads.faults.fault_seed`, so materialisation is a
+        pure function of the seed — byte-identical under re-derivation and
+        epoch sharding.  Crash legs go through the usual ``f``-budget
+        check, slow legs wrap the network delay model in
+        :class:`~repro.sim.network.SlowDisk`, and the adversarial legs
+        install (or extend) a message adversary on the network.  Returns
+        the materialised ground truth as an
+        :class:`~repro.workloads.faults.AppliedFaultPlan`.
+        """
+        # Imported lazily: the workloads package imports this module.
+        from repro.sim.adversary import (
+            CompositeAdversary,
+            DelayAdversary,
+            PartitionAdversary,
+            WithholdingAdversary,
+        )
+        from repro.workloads.faults import (
+            AppliedFaultPlan,
+            AppliedObjectFaults,
+            FaultPlan,
+            fault_seed,
+            parse_faults,
+        )
+
+        if isinstance(plan, str):
+            plan = parse_faults(plan)
+        if not isinstance(plan, FaultPlan):
+            raise TypeError(
+                f"expected a FaultPlan or fault spec string, got {type(plan).__name__}"
+            )
+        if not plan:
+            applied = AppliedFaultPlan(plan_spec=plan.spec())
+            self.applied_faults = applied
+            return applied
+
+        j = object_index
+        crashed: tuple = ()
+        slow: tuple = ()
+        withheld: tuple = ()
+        withhold_window = None
+        surviving = None
+        below_k = False
+        isolated: tuple = ()
+        partition_window = None
+        adversaries = []
+        k = self.code.k
+
+        if plan.crash is not None and plan.crash.count:
+            rng = np.random.default_rng(fault_seed(seed, "crash", j))
+            schedule = plan.crash.materialise(self.server_ids, rng)
+            self.apply_crash_schedule(schedule)
+            crashed = tuple((e.pid, e.time) for e in schedule)
+        if plan.slow is not None and plan.slow.count:
+            rng = np.random.default_rng(fault_seed(seed, "slow", j))
+            slow = plan.slow.choose(self.server_ids, rng)
+            network = self.sim.network
+            network.delay_model = SlowDisk(
+                network.delay_model,
+                slow,
+                extra=plan.slow.extra,
+                jitter=plan.slow.jitter,
+            )
+        if plan.delay_adversary is not None:
+            leg = plan.delay_adversary
+            adversaries.append(
+                DelayAdversary(factor=leg.factor, start=leg.start, end=leg.end)
+            )
+        if plan.withhold is not None:
+            leg = plan.withhold
+            rng = np.random.default_rng(fault_seed(seed, "withhold", j))
+            withheld = leg.choose(self.server_ids, k, rng)
+            withhold_window = (leg.start, leg.end)
+            surviving = self.n - len(withheld)
+            below_k = surviving < k
+            adversaries.append(
+                WithholdingAdversary({pid: withhold_window for pid in withheld})
+            )
+        if plan.partition is not None:
+            leg = plan.partition
+            rng = np.random.default_rng(fault_seed(seed, "partition", j))
+            isolated = leg.choose(self.server_ids, rng)
+            partition_window = (leg.start, leg.end)
+            adversaries.append(
+                PartitionAdversary({pid: partition_window for pid in isolated})
+            )
+        if adversaries:
+            network = self.sim.network
+            existing = network._adversary
+            if existing is not None:
+                adversaries = [existing, *adversaries]
+            network.install_adversary(
+                adversaries[0]
+                if len(adversaries) == 1
+                else CompositeAdversary(adversaries)
+            )
+
+        applied = AppliedFaultPlan(
+            plan_spec=plan.spec(),
+            objects=(
+                AppliedObjectFaults(
+                    object_index=j,
+                    crashed=crashed,
+                    slow=slow,
+                    withheld=withheld,
+                    withhold_window=withhold_window,
+                    surviving_elements=surviving,
+                    below_k=below_k,
+                    isolated=isolated,
+                    partition_window=partition_window,
+                ),
+            ),
+        )
+        self.applied_faults = applied
+        return applied
 
     # ------------------------------------------------------------------
     # metrics accessors

@@ -1,0 +1,93 @@
+"""Shared driver configuration.
+
+The closed-loop (:meth:`repro.runtime.cluster.RegisterCluster.run_streamed`)
+and open-loop (:func:`repro.runtime.openloop.begin_open_loop`) drivers —
+and their namespace counterparts — used to thread the same knobs through
+four parallel kwarg lists.  :class:`RunConfig` consolidates them into one
+validated dataclass that every driver consumes; the original kwargs remain
+as thin per-call overrides resolved by :func:`resolve_config`, so existing
+call sites keep working unchanged.
+
+Knobs that only one driver reads are simply ignored by the other: the
+closed loop has no admission queue (``policy`` / ``queue_per_server`` /
+``op_timeout`` / ``read_fraction`` do not apply — its read mix is the
+client mix), and the open loop has no think time (``mean_gap`` /
+``start_window`` do not apply — arrivals fix the schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+__all__ = ["ADMISSION_POLICIES", "RunConfig", "resolve_config"]
+
+#: Admission-queue overflow policies, in CLI surface order (re-exported by
+#: :mod:`repro.runtime.openloop`, its original home).
+ADMISSION_POLICIES = ("drop", "shed-reads", "backpressure")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Driver knobs shared by the closed- and open-loop run engines.
+
+    * ``value_size`` — written value size in bytes;
+    * ``warm_batch`` — values pre-encoded per encoder-cache refill;
+    * ``mean_gap`` — closed-loop exponential think time between a client's
+      operations;
+    * ``start_window`` — closed-loop initial-invocation jitter window;
+    * ``read_fraction`` — open-loop probability that an arrival is a read;
+    * ``policy`` — open-loop admission-queue overflow policy;
+    * ``queue_per_server`` — open-loop admission-queue capacity per server;
+    * ``op_timeout`` — open-loop maximum queue wait (None disables);
+    * ``keep_samples`` — open-loop raw latency sample retention.
+    """
+
+    value_size: int = 32
+    warm_batch: int = 64
+    mean_gap: float = 0.25
+    start_window: float = 1.0
+    read_fraction: float = 0.5
+    policy: str = "drop"
+    queue_per_server: int = 4
+    op_timeout: Optional[float] = None
+    keep_samples: bool = False
+
+    def __post_init__(self) -> None:
+        if self.value_size < 1:
+            raise ValueError("value_size must be at least 1")
+        if self.warm_batch < 1:
+            raise ValueError("warm_batch must be at least 1")
+        if self.mean_gap < 0 or self.start_window < 0:
+            raise ValueError("mean_gap and start_window must be non-negative")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be within [0, 1]")
+        if self.policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.policy!r}; "
+                f"expected one of {', '.join(ADMISSION_POLICIES)}"
+            )
+        if self.queue_per_server < 1:
+            raise ValueError("queue_per_server must be at least 1")
+        if self.op_timeout is not None and not self.op_timeout > 0:
+            raise ValueError("op_timeout must be positive (or None to disable)")
+
+
+def resolve_config(config: Optional[RunConfig], **overrides) -> RunConfig:
+    """Merge per-call keyword overrides onto a base config.
+
+    ``None`` overrides mean "not specified, use the config's value" —
+    which makes legacy kwargs (now defaulting to ``None``) transparent
+    adapters over the config.  ``op_timeout`` is the one knob whose
+    *meaningful* value can be ``None`` (timeout disabled); that is also
+    its config default, so the ambiguity is harmless.
+    """
+    base = config if config is not None else RunConfig()
+    known = {f.name for f in fields(RunConfig)}
+    cleaned = {}
+    for name, value in overrides.items():
+        if name not in known:
+            raise TypeError(f"unknown run-config field {name!r}")
+        if value is not None:
+            cleaned[name] = value
+    return replace(base, **cleaned) if cleaned else base

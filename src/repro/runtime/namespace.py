@@ -43,6 +43,7 @@ from repro.consistency.stream import HistorySink
 from repro.metrics.costs import CommunicationCostTracker
 from repro.metrics.latency import LatencyHistogram
 from repro.runtime.cluster import RegisterCluster, StreamedRunStats
+from repro.runtime.config import RunConfig, resolve_config
 from repro.runtime.openloop import OpenLoopStats
 from repro.sim.failures import CrashSchedule
 from repro.sim.network import DelayModel
@@ -281,13 +282,15 @@ class MultiRegisterCluster:
         *,
         operations: int,
         key_dist: Optional[KeyDistribution] = None,
-        value_size: int = 32,
-        mean_gap: float = 0.25,
-        start_window: float = 1.0,
+        value_size: Optional[int] = None,
+        mean_gap: Optional[float] = None,
+        start_window: Optional[float] = None,
         seed: int = 0,
         value_prefix: str = "",
-        warm_batch: int = 64,
+        warm_batch: Optional[int] = None,
         max_events: Optional[int] = None,
+        config: Optional[RunConfig] = None,
+        faults=None,
     ) -> NamespaceStreamedStats:
         """Drive ``operations`` keyed client operations through the
         namespace in one shared simulation run.
@@ -300,9 +303,25 @@ class MultiRegisterCluster:
         Everything derives from ``seed``, so the run is reproducible
         event-for-event and independent of how many worker processes a
         sharded analysis fans epochs over.
+
+        Driver knobs may come from a shared
+        :class:`~repro.runtime.config.RunConfig` (``config``); explicit
+        keyword values override it per call.  ``faults`` accepts a
+        :class:`~repro.workloads.faults.FaultPlan` (or its spec string)
+        applied namespace-wide before the run via
+        :meth:`apply_fault_plan`.
         """
         if operations < 0:
             raise ValueError("operations cannot be negative")
+        cfg = resolve_config(
+            config,
+            value_size=value_size,
+            mean_gap=mean_gap,
+            start_window=start_window,
+            warm_batch=warm_batch,
+        )
+        if faults is not None:
+            self.apply_fault_plan(faults, seed=seed)
         dist = key_dist if key_dist is not None else KeyDistribution.uniform()
         rng = np.random.default_rng(seed)
         allocation = dist.allocate(operations, len(self.objects), rng)
@@ -316,12 +335,9 @@ class MultiRegisterCluster:
         for j, (obj, ops_j) in enumerate(zip(self.objects, allocation)):
             per_obj, finalize = obj._begin_streamed(
                 operations=ops_j,
-                value_size=value_size,
-                mean_gap=mean_gap,
-                start_window=start_window,
                 seed=object_seeds[j],
                 value_prefix=f"{value_prefix}o{j}|",
-                warm_batch=warm_batch,
+                config=cfg,
             )
             stats.per_object.append(per_obj)
             finalizers.append(finalize)
@@ -358,16 +374,18 @@ class MultiRegisterCluster:
         operations: int,
         arrival: ArrivalProcess,
         key_dist: Optional[KeyDistribution] = None,
-        read_fraction: float = 0.5,
-        policy: str = "drop",
-        queue_per_server: int = 4,
+        read_fraction: Optional[float] = None,
+        policy: Optional[str] = None,
+        queue_per_server: Optional[int] = None,
         op_timeout: Optional[float] = None,
-        value_size: int = 32,
+        value_size: Optional[int] = None,
         seed: int = 0,
         value_prefix: str = "",
-        warm_batch: int = 64,
-        keep_samples: bool = False,
+        warm_batch: Optional[int] = None,
+        keep_samples: Optional[bool] = None,
         max_events: Optional[int] = None,
+        config: Optional[RunConfig] = None,
+        faults=None,
     ) -> NamespaceOpenLoopStats:
         """Drive ``operations`` open-loop arrivals through the namespace.
 
@@ -381,9 +399,28 @@ class MultiRegisterCluster:
         derived seed, and one shared simulation run drives them all —
         reproducible event-for-event for any shard fan-out.  Trace
         arrivals cannot be rescaled and raise ``ValueError`` here.
+
+        Driver knobs may come from a shared
+        :class:`~repro.runtime.config.RunConfig` (``config``); explicit
+        keyword values override it per call.  ``faults`` accepts a
+        :class:`~repro.workloads.faults.FaultPlan` (or its spec string)
+        applied namespace-wide before the run via
+        :meth:`apply_fault_plan`.
         """
         if operations < 0:
             raise ValueError("operations cannot be negative")
+        cfg = resolve_config(
+            config,
+            read_fraction=read_fraction,
+            policy=policy,
+            queue_per_server=queue_per_server,
+            op_timeout=op_timeout,
+            value_size=value_size,
+            warm_batch=warm_batch,
+            keep_samples=keep_samples,
+        )
+        if faults is not None:
+            self.apply_fault_plan(faults, seed=seed)
         dist = key_dist if key_dist is not None else KeyDistribution.uniform()
         rng = np.random.default_rng(seed)
         allocation = dist.allocate(operations, len(self.objects), rng)
@@ -399,15 +436,9 @@ class MultiRegisterCluster:
             per_obj, finalize = obj._begin_open_loop(
                 operations=ops_j,
                 arrival=arrival.scaled(float(probabilities[j])),
-                read_fraction=read_fraction,
-                policy=policy,
-                queue_per_server=queue_per_server,
-                op_timeout=op_timeout,
-                value_size=value_size,
                 seed=object_seeds[j],
                 value_prefix=f"{value_prefix}o{j}|",
-                warm_batch=warm_batch,
-                keep_samples=keep_samples,
+                config=cfg,
             )
             stats.per_object.append(per_obj)
             finalizers.append(finalize)
@@ -465,6 +496,150 @@ class MultiRegisterCluster:
             by_object.setdefault(j, CrashSchedule()).add(event.pid, event.time)
         for j, sub in sorted(by_object.items()):
             self.object(j).apply_crash_schedule(sub)
+
+    def apply_fault_plan(self, plan, *, seed: int = 0):
+        """Materialise a :class:`~repro.workloads.faults.FaultPlan` on the
+        whole namespace.
+
+        Crash and slow legs apply per object (each from its own derived
+        rng, each object's ``f`` budget validated independently); the
+        withholding leg picks its victim objects (``objects = 0`` hits all
+        of them) and its withholding servers per object; the partition leg
+        cuts each object's server set along its own seeded cut.  All
+        per-object adversary windows merge into **one** composite
+        installed on the shared network — valid because objects never
+        exchange cross-object messages — and the slow sets merge into one
+        :class:`~repro.sim.network.SlowDisk` wrap instead of nesting one
+        layer per object.  Returns the materialised
+        :class:`~repro.workloads.faults.AppliedFaultPlan` ground truth.
+        """
+        from repro.sim.adversary import (
+            CompositeAdversary,
+            DelayAdversary,
+            PartitionAdversary,
+            WithholdingAdversary,
+        )
+        from repro.sim.network import SlowDisk
+        from repro.workloads.faults import (
+            AppliedFaultPlan,
+            AppliedObjectFaults,
+            FaultPlan,
+            fault_seed,
+            parse_faults,
+        )
+
+        if isinstance(plan, str):
+            plan = parse_faults(plan)
+        if not isinstance(plan, FaultPlan):
+            raise TypeError(
+                f"expected a FaultPlan or fault spec string, got {type(plan).__name__}"
+            )
+        count = len(self.objects)
+        if not plan:
+            applied = AppliedFaultPlan(plan_spec=plan.spec())
+            self.applied_faults = applied
+            return applied
+
+        per_object: Dict[int, Dict[str, object]] = {
+            j: {} for j in range(count)
+        }
+        slow_union: List[str] = []
+        withheld_windows: Dict[str, tuple] = {}
+        isolated_windows: Dict[str, tuple] = {}
+        adversaries = []
+
+        if plan.crash is not None and plan.crash.count:
+            for j, obj in enumerate(self.objects):
+                rng = np.random.default_rng(fault_seed(seed, "crash", j))
+                schedule = plan.crash.materialise(obj.server_ids, rng)
+                obj.apply_crash_schedule(schedule)
+                per_object[j]["crashed"] = tuple(
+                    (e.pid, e.time) for e in schedule
+                )
+        if plan.slow is not None and plan.slow.count:
+            for j, obj in enumerate(self.objects):
+                rng = np.random.default_rng(fault_seed(seed, "slow", j))
+                chosen = plan.slow.choose(obj.server_ids, rng)
+                per_object[j]["slow"] = chosen
+                slow_union.extend(chosen)
+            network = self.sim.network
+            network.delay_model = SlowDisk(
+                network.delay_model,
+                slow_union,
+                extra=plan.slow.extra,
+                jitter=plan.slow.jitter,
+            )
+        if plan.delay_adversary is not None:
+            leg = plan.delay_adversary
+            adversaries.append(
+                DelayAdversary(factor=leg.factor, start=leg.start, end=leg.end)
+            )
+        if plan.withhold is not None:
+            leg = plan.withhold
+            if leg.objects and leg.objects < count:
+                rng = np.random.default_rng(
+                    fault_seed(seed, "withhold-objects", 0)
+                )
+                victims = sorted(
+                    int(i)
+                    for i in rng.choice(count, size=leg.objects, replace=False)
+                )
+            else:
+                victims = list(range(count))
+            window = (leg.start, leg.end)
+            for j in victims:
+                obj = self.objects[j]
+                rng = np.random.default_rng(fault_seed(seed, "withhold", j))
+                withheld = leg.choose(obj.server_ids, obj.code.k, rng)
+                surviving = obj.n - len(withheld)
+                per_object[j]["withheld"] = withheld
+                per_object[j]["withhold_window"] = window
+                per_object[j]["surviving_elements"] = surviving
+                per_object[j]["below_k"] = surviving < obj.code.k
+                for pid in withheld:
+                    withheld_windows[pid] = window
+            adversaries.append(WithholdingAdversary(withheld_windows))
+        if plan.partition is not None:
+            leg = plan.partition
+            window = (leg.start, leg.end)
+            for j, obj in enumerate(self.objects):
+                rng = np.random.default_rng(fault_seed(seed, "partition", j))
+                isolated = leg.choose(obj.server_ids, rng)
+                per_object[j]["isolated"] = isolated
+                per_object[j]["partition_window"] = window
+                for pid in isolated:
+                    isolated_windows[pid] = window
+            adversaries.append(PartitionAdversary(isolated_windows))
+        if adversaries:
+            network = self.sim.network
+            existing = network._adversary
+            if existing is not None:
+                adversaries = [existing, *adversaries]
+            network.install_adversary(
+                adversaries[0]
+                if len(adversaries) == 1
+                else CompositeAdversary(adversaries)
+            )
+
+        applied = AppliedFaultPlan(
+            plan_spec=plan.spec(),
+            objects=tuple(
+                AppliedObjectFaults(
+                    object_index=j,
+                    crashed=per_object[j].get("crashed", ()),
+                    slow=per_object[j].get("slow", ()),
+                    withheld=per_object[j].get("withheld", ()),
+                    withhold_window=per_object[j].get("withhold_window"),
+                    surviving_elements=per_object[j].get("surviving_elements"),
+                    below_k=per_object[j].get("below_k", False),
+                    isolated=per_object[j].get("isolated", ()),
+                    partition_window=per_object[j].get("partition_window"),
+                )
+                for j in range(count)
+            ),
+        )
+        self.applied_faults = applied
+        return applied
 
     # ------------------------------------------------------------------
     # metrics

@@ -53,12 +53,10 @@ import numpy as np
 from repro.consistency.history import OperationRecord
 from repro.consistency.stream import StreamObserver
 from repro.metrics.latency import LatencyHistogram
+from repro.runtime.config import ADMISSION_POLICIES, RunConfig, resolve_config
 from repro.sim.process import Process
 
 __all__ = ["ADMISSION_POLICIES", "OpenLoopStats", "begin_open_loop"]
-
-#: Admission-queue overflow policies, in CLI surface order.
-ADMISSION_POLICIES = ("drop", "shed-reads", "backpressure")
 
 
 @dataclass
@@ -114,15 +112,16 @@ def begin_open_loop(
     *,
     operations: int,
     arrival,
-    read_fraction: float = 0.5,
-    policy: str = "drop",
-    queue_per_server: int = 4,
+    read_fraction: Optional[float] = None,
+    policy: Optional[str] = None,
+    queue_per_server: Optional[int] = None,
     op_timeout: Optional[float] = None,
-    value_size: int = 32,
+    value_size: Optional[int] = None,
     seed: int = 0,
     value_prefix: str = "",
-    warm_batch: int = 64,
-    keep_samples: bool = False,
+    warm_batch: Optional[int] = None,
+    keep_samples: Optional[bool] = None,
+    config: Optional[RunConfig] = None,
 ) -> Tuple[OpenLoopStats, Callable[[], None]]:
     """Arm one open-loop run on ``cluster`` without running the simulation.
 
@@ -133,20 +132,30 @@ def begin_open_loop(
     :meth:`~repro.runtime.cluster.RegisterCluster._begin_streamed`, so the
     namespace layer can arm one driver per register object on a shared
     simulation.
+
+    Driver knobs resolve through :class:`~repro.runtime.config.RunConfig`
+    (validated there): a shared ``config`` supplies the defaults, explicit
+    keyword values override it per call.
     """
     if operations < 0:
         raise ValueError("operations cannot be negative")
-    if not 0.0 <= read_fraction <= 1.0:
-        raise ValueError("read_fraction must be within [0, 1]")
-    if policy not in ADMISSION_POLICIES:
-        raise ValueError(
-            f"unknown admission policy {policy!r}; "
-            f"expected one of {', '.join(ADMISSION_POLICIES)}"
-        )
-    if queue_per_server < 1:
-        raise ValueError("queue_per_server must be at least 1")
-    if op_timeout is not None and not op_timeout > 0:
-        raise ValueError("op_timeout must be positive (or None to disable)")
+    cfg = resolve_config(
+        config,
+        read_fraction=read_fraction,
+        policy=policy,
+        queue_per_server=queue_per_server,
+        op_timeout=op_timeout,
+        value_size=value_size,
+        warm_batch=warm_batch,
+        keep_samples=keep_samples,
+    )
+    read_fraction = cfg.read_fraction
+    policy = cfg.policy
+    queue_per_server = cfg.queue_per_server
+    op_timeout = cfg.op_timeout
+    value_size = cfg.value_size
+    warm_batch = cfg.warm_batch
+    keep_samples = cfg.keep_samples
 
     sim = cluster.sim
     rng = np.random.default_rng(seed)

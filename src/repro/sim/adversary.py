@@ -1,0 +1,201 @@
+"""Message-level adversaries installed on the network's send path.
+
+The paper's correctness argument (conf_ipps_KonwarPKLMS16) survives an
+asynchronous network, but its *liveness* margins are razor thin in two
+places: the reader-registration window (a reader is only guaranteed the
+coded elements of writes that complete after its registration reaches the
+servers) and the ``k``-of-``n`` element-availability threshold.  The
+adversaries here attack exactly those margins:
+
+* :class:`DelayAdversary` stretches the delivery delay of the messages that
+  make up the registration window — the relayed coded elements and the
+  registration/unregistration metadata — without touching any other
+  traffic, widening the window during which concurrent writes must be
+  relayed to registered readers;
+* :class:`WithholdingAdversary` silently drops the element-bearing replies
+  of designated servers during a window, modelling servers that answer
+  metadata handshakes but withhold their coded elements (a sub-MDS
+  response set);
+* :class:`PartitionAdversary` drops every message crossing a cut between
+  an isolated server group and the rest of the system until the partition
+  heals.
+
+An adversary sees each :class:`~repro.sim.network.MessageRecord` *after*
+the delay model has drawn the nominal delay and before the delivery is
+scheduled, and returns the (possibly stretched) delay plus a drop verdict.
+Adversaries are deterministic functions of the message and the clock — they
+consume no randomness of their own — so installing one never perturbs the
+rng stream consumed by delay sampling, and executions stay byte-identical
+across ``--jobs`` shardings.
+
+Message classification is by type *name* (outer payload, or the inner
+``.payload`` of metadata envelopes) so this module stays decoupled from the
+protocol message dataclasses in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.sim.network import MessageRecord, ProcessId
+
+__all__ = [
+    "Adversary",
+    "DelayAdversary",
+    "WithholdingAdversary",
+    "PartitionAdversary",
+    "CompositeAdversary",
+    "REGISTRATION_WINDOW_MESSAGES",
+    "ELEMENT_MESSAGES",
+]
+
+#: Message type names that carry SODA's reader-registration window: the
+#: registration itself (READ-VALUE), the relayed coded elements, and the
+#: read-complete unregistration.  Stretching these widens the window.
+REGISTRATION_WINDOW_MESSAGES = frozenset(
+    {"ReadValuePayload", "ReadCompletePayload", "ReadValueResponse"}
+)
+
+#: Message type names that carry (or witness) coded elements.  A
+#: withholding server suppresses exactly these: its element relays to
+#: readers, its READ-DISPERSE bookkeeping to peers, and its replies to
+#: availability-audit probes.  Metadata handshakes (write acks, read-get
+#: responses) still flow, so the withholding is silent until a reader
+#: tries to accumulate ``k`` elements.
+ELEMENT_MESSAGES = frozenset(
+    {"ReadValueResponse", "ReadDispersePayload", "AuditProbeResponse"}
+)
+
+
+def _message_type_names(payload: object) -> Tuple[str, ...]:
+    """The outer type name plus the inner one for metadata envelopes."""
+    outer = type(payload).__name__
+    inner = getattr(payload, "payload", None)
+    if inner is not None:
+        return (outer, type(inner).__name__)
+    return (outer,)
+
+
+class Adversary(ABC):
+    """Inspects an in-flight message and perturbs its delivery."""
+
+    @abstractmethod
+    def intervene(
+        self, record: MessageRecord, delay: float, now: float
+    ) -> Tuple[float, bool]:
+        """Return ``(delay, drop)`` for the message in ``record``.
+
+        ``delay`` is the nominal delay the delay model drew; ``now`` is the
+        simulation clock at send time.  Implementations must be
+        deterministic functions of their construction parameters and these
+        arguments.
+        """
+
+
+class DelayAdversary(Adversary):
+    """Multiplicatively stretch deliveries of targeted message types."""
+
+    def __init__(
+        self,
+        *,
+        factor: float,
+        start: float = 0.0,
+        end: float = float("inf"),
+        targets: Iterable[str] = REGISTRATION_WINDOW_MESSAGES,
+    ) -> None:
+        if not factor >= 1.0:
+            raise ValueError("delay adversary factor must be at least 1")
+        self.factor = factor
+        self.start = start
+        self.end = end
+        self.targets = frozenset(targets)
+        self.stretched = 0
+
+    def intervene(
+        self, record: MessageRecord, delay: float, now: float
+    ) -> Tuple[float, bool]:
+        if self.start <= now < self.end:
+            for name in _message_type_names(record.payload):
+                if name in self.targets:
+                    self.stretched += 1
+                    return delay * self.factor, False
+        return delay, False
+
+
+class WithholdingAdversary(Adversary):
+    """Drop element-bearing messages *from* withholding servers in-window.
+
+    ``withheld`` maps each withholding server pid to its ``(start, end)``
+    window; the windows heal independently.  Dropping the READ-DISPERSE
+    bookkeeping alongside the element relays keeps readers registered at
+    the healthy servers (the withholders never contribute toward the
+    unregistration threshold), so a parked read completes once the window
+    heals and the next write's elements are relayed.
+    """
+
+    def __init__(
+        self,
+        withheld: Mapping[ProcessId, Tuple[float, float]],
+        *,
+        targets: Iterable[str] = ELEMENT_MESSAGES,
+    ) -> None:
+        self.withheld: Dict[ProcessId, Tuple[float, float]] = dict(withheld)
+        self.targets = frozenset(targets)
+        self.dropped = 0
+
+    def intervene(
+        self, record: MessageRecord, delay: float, now: float
+    ) -> Tuple[float, bool]:
+        window = self.withheld.get(record.src)
+        if window is not None and window[0] <= now < window[1]:
+            for name in _message_type_names(record.payload):
+                if name in self.targets:
+                    self.dropped += 1
+                    return delay, True
+        return delay, False
+
+
+class PartitionAdversary(Adversary):
+    """Drop every message crossing the cut around isolated servers.
+
+    ``isolated`` maps each isolated pid to its ``(start, end)`` partition
+    window.  A message is dropped iff exactly one endpoint is isolated
+    in-window at send time — traffic wholly inside the isolated group (or
+    wholly outside it) still flows, which is what a network partition
+    looks like.
+    """
+
+    def __init__(
+        self, isolated: Mapping[ProcessId, Tuple[float, float]]
+    ) -> None:
+        self.isolated: Dict[ProcessId, Tuple[float, float]] = dict(isolated)
+        self.dropped = 0
+
+    def _cut_off(self, pid: ProcessId, now: float) -> bool:
+        window = self.isolated.get(pid)
+        return window is not None and window[0] <= now < window[1]
+
+    def intervene(
+        self, record: MessageRecord, delay: float, now: float
+    ) -> Tuple[float, bool]:
+        if self._cut_off(record.src, now) != self._cut_off(record.dst, now):
+            self.dropped += 1
+            return delay, True
+        return delay, False
+
+
+class CompositeAdversary(Adversary):
+    """Chain several adversaries; the first drop verdict wins."""
+
+    def __init__(self, children: Sequence[Adversary]) -> None:
+        self.children: Tuple[Adversary, ...] = tuple(children)
+
+    def intervene(
+        self, record: MessageRecord, delay: float, now: float
+    ) -> Tuple[float, bool]:
+        for child in self.children:
+            delay, drop = child.intervene(record, delay, now)
+            if drop:
+                return delay, True
+        return delay, False

@@ -45,6 +45,18 @@ class CrashSchedule:
     events: List[CrashEvent] = field(default_factory=list)
 
     def add(self, pid: ProcessId, time: float) -> "CrashSchedule":
+        """Schedule ``pid`` to crash at ``time`` — first crash wins.
+
+        A process can only crash once; scheduling the same victim twice
+        (e.g. merging a random schedule into a burst that already drew the
+        same pid) keeps the *earliest* crash time instead of silently
+        recording a duplicate that the injector would re-arm.
+        """
+        for i, event in enumerate(self.events):
+            if event.pid == pid:
+                if time < event.time:
+                    self.events[i] = CrashEvent(pid=pid, time=time)
+                return self
         self.events.append(CrashEvent(pid=pid, time=time))
         return self
 
@@ -115,6 +127,7 @@ class FailureInjector:
     def __init__(self, simulation: Simulation) -> None:
         self._sim = simulation
         self.injected: List[CrashEvent] = []
+        self._armed: set = set()
 
     def apply(self, schedule: CrashSchedule) -> None:
         for event in schedule:
@@ -127,6 +140,16 @@ class FailureInjector:
         process = self._sim.get_process(event.pid)
         if process is None:
             raise ValueError(f"unknown process {event.pid!r} in crash schedule")
+        if process.is_crashed:
+            raise ValueError(
+                f"crash scheduled for already-crashed process {event.pid!r}"
+            )
+        if event.pid in self._armed:
+            raise ValueError(
+                f"crash already armed for process {event.pid!r}; a process "
+                f"crashes at most once"
+            )
+        self._armed.add(event.pid)
 
         def crash() -> None:
             target = self._sim.get_process(event.pid)

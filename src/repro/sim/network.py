@@ -272,6 +272,10 @@ class Network:
         self._delay_pos = 0
         self._buffered_model: Optional[DelayModel] = None
         self._block_capable = False
+        # Optional message adversary (repro.sim.adversary): inspects each
+        # in-flight message after the delay is drawn and may stretch or
+        # drop the delivery.  One branch per send when absent.
+        self._adversary = None
 
     # -- listener registration -----------------------------------------
     def on_send(self, listener: Callable[[MessageRecord], None]) -> None:
@@ -293,6 +297,18 @@ class Network:
             self._cost_tracker = tracker
             return True
         return False
+
+    def install_adversary(self, adversary) -> None:
+        """Install a message adversary (or ``None`` to remove it).
+
+        The adversary's :meth:`~repro.sim.adversary.Adversary.intervene`
+        runs on every send after the delay model has drawn the nominal
+        delay; it may stretch the delay or drop the message outright
+        (counted in ``stats.messages_dropped``).  Adversaries consume no
+        randomness, so installing one never perturbs the delay-sampling
+        rng stream.
+        """
+        self._adversary = adversary
 
     # -- sending ---------------------------------------------------------
     def send(self, src: ProcessId, dst: ProcessId, payload: object) -> MessageRecord:
@@ -350,6 +366,13 @@ class Network:
         # Non-negativity is a delay-model construction invariant; the old
         # per-send ``delay < 0`` raise is now a debug-mode assert.
         assert delay >= 0, f"delay model produced a negative delay {delay}"
+        adversary = self._adversary
+        if adversary is not None:
+            delay, dropped = adversary.intervene(record, delay, sim._now)
+            if dropped:
+                record.dropped = True
+                stats.messages_dropped += 1
+                return record
         # Push the delivery straight onto the event queue (one frame less
         # than Simulation.schedule_call; same (time, seq) semantics).
         sim._queue.push(sim._now + delay, self._deliver, label, record)

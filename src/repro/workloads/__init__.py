@@ -10,10 +10,19 @@ workloads that exercise the quantities the theorems talk about:
 * :mod:`repro.workloads.scenarios` — hand-crafted scenarios that pin down a
   single variable: a read overlapping exactly ``delta_w`` writes, purely
   sequential (uncontended) operation, crash-heavy executions, and the
-  flaky-disk scenario for SODAerr;
+  flaky-disk scenario for SODAerr — all returning
+  :class:`~repro.workloads.scenarios.ScenarioResult`;
 * :mod:`repro.workloads.arrivals` — seeded open-loop arrival processes
   (Poisson / diurnal / burst / trace replay) for the open-loop traffic
-  driver in :mod:`repro.runtime.openloop`.
+  driver in :mod:`repro.runtime.openloop`;
+* :mod:`repro.workloads.faults` — the unified :class:`FaultPlan`
+  composite (crash bursts, slow disks, delay adversary, withholding
+  servers, partition/heal), each leg a pure function of its derived rng.
+
+The ``parse_*`` family re-exported here is the single documented
+spec-string surface: :func:`parse_arrival` (``poisson:4``),
+:func:`parse_key_dist` (``zipf:1.1``) and :func:`parse_faults`
+(``withhold:1:40:30;partition:2:10:12``).
 """
 
 from repro.workloads.arrivals import (
@@ -24,6 +33,18 @@ from repro.workloads.arrivals import (
     TraceArrivals,
     parse_arrival,
 )
+from repro.workloads.faults import (
+    AppliedFaultPlan,
+    AppliedObjectFaults,
+    CrashLeg,
+    DelayAdversaryLeg,
+    FaultPlan,
+    PartitionLeg,
+    SlowLeg,
+    WithholdLeg,
+    fault_seed,
+    parse_faults,
+)
 from repro.workloads.generator import WorkloadResult, WorkloadSpec, run_workload
 from repro.workloads.keyed import (
     KeyDistribution,
@@ -31,25 +52,39 @@ from repro.workloads.keyed import (
     parse_key_dist,
 )
 from repro.workloads.scenarios import (
+    ScenarioResult,
     concurrent_read_scenario,
     crash_heavy_scenario,
     sequential_scenario,
+    skewed_scenario,
 )
 
 __all__ = [
+    "AppliedFaultPlan",
+    "AppliedObjectFaults",
     "ArrivalProcess",
     "BurstArrivals",
+    "CrashLeg",
+    "DelayAdversaryLeg",
     "DiurnalArrivals",
+    "FaultPlan",
     "KeyDistribution",
+    "PartitionLeg",
     "PoissonArrivals",
+    "ScenarioResult",
+    "SlowLeg",
     "TraceArrivals",
+    "WithholdLeg",
     "WorkloadSpec",
     "WorkloadResult",
     "correlated_crash_schedule",
+    "fault_seed",
     "parse_arrival",
+    "parse_faults",
     "parse_key_dist",
     "run_workload",
     "sequential_scenario",
     "concurrent_read_scenario",
     "crash_heavy_scenario",
+    "skewed_scenario",
 ]

@@ -24,12 +24,19 @@ import numpy as np
 
 from repro.consistency.history import OperationRecord
 from repro.runtime.cluster import RegisterCluster
-from repro.workloads.generator import WorkloadResult, unique_value
+from repro.workloads.generator import unique_value
 
 
 @dataclass
 class ScenarioResult:
-    """Operations of interest produced by a scenario."""
+    """Operations of interest produced by a scenario.
+
+    Every scenario builder returns one of these — ``writes`` and ``reads``
+    hold the :class:`~repro.consistency.history.OperationRecord` of each
+    operation the scenario invoked (in invocation order), so downstream
+    cost analyses read one uniform shape regardless of which scenario
+    produced it.
+    """
 
     writes: List[OperationRecord]
     reads: List[OperationRecord]
@@ -37,6 +44,26 @@ class ScenarioResult:
     @property
     def all_complete(self) -> bool:
         return all(op.is_complete for op in self.writes + self.reads)
+
+    @property
+    def read(self) -> OperationRecord:
+        """The scenario's (first) read — for single-read scenarios."""
+        if not self.reads:
+            raise ValueError("scenario produced no reads")
+        return self.reads[0]
+
+    @property
+    def write(self) -> OperationRecord:
+        """The scenario's (first) write — for single-write scenarios."""
+        if not self.writes:
+            raise ValueError("scenario produced no writes")
+        return self.writes[0]
+
+    def write_costs(self, cluster: RegisterCluster) -> List[float]:
+        return [cluster.operation_cost(op.op_id) for op in self.writes]
+
+    def read_costs(self, cluster: RegisterCluster) -> List[float]:
+        return [cluster.operation_cost(op.op_id) for op in self.reads]
 
 
 def sequential_scenario(
@@ -66,7 +93,7 @@ def concurrent_read_scenario(
     value_size: int = 64,
     write_spacing: float = 0.4,
     seed: int = 0,
-) -> OperationRecord:
+) -> ScenarioResult:
     """One read overlapping ``concurrent_writes`` writes.
 
     The read is started first; the writes are invoked in quick succession
@@ -77,8 +104,9 @@ def concurrent_read_scenario(
     round-robin over the available writers and retried if a writer is
     busy).
 
-    Returns the read's operation record after the execution reaches
-    quiescence.
+    The result's ``reads`` hold exactly the one overlapped read (the
+    ``.read`` shorthand); ``writes`` hold the baseline write followed by
+    the concurrent writes.
     """
     rng = np.random.default_rng(seed)
     # Establish a baseline version so the read has something to return even
@@ -89,16 +117,20 @@ def concurrent_read_scenario(
         for i in range(concurrent_writes)
     ]
     cluster.warm_encode([baseline, *concurrent_values])
-    cluster.write(baseline)
+    writes = [cluster.write(baseline)]
     start = cluster.sim.now + 1.0
     read_handle = cluster.schedule_read(start, reader=0)
+    write_handles = []
     for i, value in enumerate(concurrent_values):
         writer = i % cluster.num_writers
         at = start + 0.05 + i * write_spacing
-        cluster.schedule_write(at, value, writer=writer)
+        write_handles.append(cluster.schedule_write(at, value, writer=writer))
     cluster.run()
     assert read_handle.op_id is not None
-    return cluster.history.get(read_handle.op_id)
+    writes.extend(cluster.history.get(h.op_id) for h in write_handles if h.op_id)
+    return ScenarioResult(
+        writes=writes, reads=[cluster.history.get(read_handle.op_id)]
+    )
 
 
 def skewed_scenario(
@@ -109,35 +141,38 @@ def skewed_scenario(
     window: float = 10.0,
     value_size: int = 64,
     seed: int = 0,
-):
+) -> ScenarioResult:
     """A randomized mix with ``read_fraction`` of the operations being reads.
 
     Operations are spread uniformly over ``[0, window]`` and distributed
     round-robin over the cluster's readers/writers; at the extremes this
     reproduces a read-mostly cache (``read_fraction`` near 1) or a
-    write-heavy ingest workload (near 0).  Returns the
-    :class:`~repro.workloads.generator.WorkloadResult`.
+    write-heavy ingest workload (near 0).
     """
     if not 0.0 <= read_fraction <= 1.0:
         raise ValueError("read_fraction must be in [0, 1]")
     rng = np.random.default_rng(seed)
     num_reads = int(round(total_ops * read_fraction))
     num_writes = total_ops - num_reads
-    result = WorkloadResult(history=cluster.history)
+    write_handles = []
+    read_handles = []
     values = [unique_value(i % cluster.num_writers, i, value_size, rng) for i in range(num_writes)]
     cluster.warm_encode(values)
     for i, value in enumerate(values):
         at = float(rng.uniform(0.0, window))
-        result.write_handles.append(
+        write_handles.append(
             cluster.schedule_write(at, value, writer=i % cluster.num_writers)
         )
     for i in range(num_reads):
         at = float(rng.uniform(0.0, window))
-        result.read_handles.append(
+        read_handles.append(
             cluster.schedule_read(at, reader=i % cluster.num_readers)
         )
     cluster.run()
-    return result
+    return ScenarioResult(
+        writes=[cluster.history.get(h.op_id) for h in write_handles if h.op_id],
+        reads=[cluster.history.get(h.op_id) for h in read_handles if h.op_id],
+    )
 
 
 def crash_heavy_scenario(

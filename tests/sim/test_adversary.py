@@ -1,0 +1,139 @@
+"""Tests for message-level adversaries on the network send path."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.sim.adversary import (
+    CompositeAdversary,
+    DelayAdversary,
+    ELEMENT_MESSAGES,
+    PartitionAdversary,
+    REGISTRATION_WINDOW_MESSAGES,
+    WithholdingAdversary,
+)
+from repro.sim.network import MessageRecord
+
+
+# Stand-ins named after the protocol messages the adversaries classify by
+# type *name* — the classification is deliberately decoupled from the real
+# dataclasses in repro.core.
+@dataclass(frozen=True)
+class ReadValueResponse:
+    data_units: float = 1.0
+
+
+@dataclass(frozen=True)
+class ReadDispersePayload:
+    data_units: float = 1.0
+
+
+@dataclass(frozen=True)
+class WriteAck:
+    data_units: float = 0.0
+
+
+@dataclass(frozen=True)
+class MetadataEnvelope:
+    payload: object
+    data_units: float = 0.0
+
+
+def record(src="s0", dst="r0", payload=None):
+    return MessageRecord(
+        src=src, dst=dst, payload=payload or ReadValueResponse(), sent_at=0.0
+    )
+
+
+class TestDelayAdversary:
+    def test_stretches_targets_in_window_only(self):
+        adv = DelayAdversary(factor=4.0, start=5.0, end=10.0)
+        assert adv.intervene(record(), 1.0, now=6.0) == (4.0, False)
+        assert adv.intervene(record(), 1.0, now=4.0) == (1.0, False)
+        assert adv.intervene(record(), 1.0, now=10.0) == (1.0, False)
+
+    def test_non_target_untouched(self):
+        adv = DelayAdversary(factor=4.0)
+        assert adv.intervene(record(payload=WriteAck()), 1.0, now=0.0) == (
+            1.0,
+            False,
+        )
+
+    def test_classifies_inner_payload_of_envelopes(self):
+        adv = DelayAdversary(factor=2.0)
+        wrapped = MetadataEnvelope(payload=ReadValueResponse())
+        delay, drop = adv.intervene(record(payload=wrapped), 1.0, now=0.0)
+        assert (delay, drop) == (2.0, False)
+        assert adv.stretched == 1
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            DelayAdversary(factor=0.5)
+
+    def test_registration_window_targets(self):
+        assert "ReadValueResponse" in REGISTRATION_WINDOW_MESSAGES
+        assert "ReadValuePayload" in REGISTRATION_WINDOW_MESSAGES
+
+
+class TestWithholdingAdversary:
+    def test_drops_elements_from_withheld_source_in_window(self):
+        adv = WithholdingAdversary({"s0": (5.0, 30.0)})
+        assert adv.intervene(record(src="s0"), 1.0, now=10.0) == (1.0, True)
+        assert adv.dropped == 1
+
+    def test_metadata_still_flows(self):
+        adv = WithholdingAdversary({"s0": (5.0, 30.0)})
+        rec = record(src="s0", payload=WriteAck())
+        assert adv.intervene(rec, 1.0, now=10.0) == (1.0, False)
+
+    def test_heals_after_window(self):
+        adv = WithholdingAdversary({"s0": (5.0, 30.0)})
+        assert adv.intervene(record(src="s0"), 1.0, now=30.0) == (1.0, False)
+        assert adv.intervene(record(src="s0"), 1.0, now=4.9) == (1.0, False)
+
+    def test_healthy_servers_untouched(self):
+        adv = WithholdingAdversary({"s0": (0.0, 100.0)})
+        assert adv.intervene(record(src="s1"), 1.0, now=10.0) == (1.0, False)
+
+    def test_disperse_bookkeeping_is_withheld_too(self):
+        # Dropping READ-DISPERSE alongside the relays keeps readers
+        # registered at the healthy servers (the parked-read contract).
+        adv = WithholdingAdversary({"s0": (0.0, 100.0)})
+        rec = record(src="s0", payload=ReadDispersePayload())
+        assert adv.intervene(rec, 1.0, now=1.0) == (1.0, True)
+        assert "AuditProbeResponse" in ELEMENT_MESSAGES
+
+
+class TestPartitionAdversary:
+    def test_drops_cut_crossing_both_directions(self):
+        adv = PartitionAdversary({"s0": (5.0, 15.0)})
+        assert adv.intervene(record(src="s0", dst="s1"), 1.0, now=10.0)[1]
+        assert adv.intervene(record(src="s1", dst="s0"), 1.0, now=10.0)[1]
+        assert adv.dropped == 2
+
+    def test_traffic_within_either_side_flows(self):
+        adv = PartitionAdversary({"s0": (5.0, 15.0), "s1": (5.0, 15.0)})
+        assert not adv.intervene(record(src="s0", dst="s1"), 1.0, now=10.0)[1]
+        assert not adv.intervene(record(src="s2", dst="s3"), 1.0, now=10.0)[1]
+
+    def test_partition_heals(self):
+        adv = PartitionAdversary({"s0": (5.0, 15.0)})
+        assert not adv.intervene(record(src="s0", dst="s1"), 1.0, now=15.0)[1]
+
+
+class TestCompositeAdversary:
+    def test_first_drop_wins_and_delays_chain(self):
+        composite = CompositeAdversary(
+            [
+                DelayAdversary(factor=3.0),
+                WithholdingAdversary({"s0": (0.0, 100.0)}),
+            ]
+        )
+        delay, drop = composite.intervene(record(src="s0"), 1.0, now=1.0)
+        assert drop
+        delay, drop = composite.intervene(record(src="s1"), 1.0, now=1.0)
+        assert (delay, drop) == (3.0, False)
+
+    def test_empty_composite_is_identity(self):
+        composite = CompositeAdversary([])
+        assert composite.intervene(record(), 1.0, now=0.0) == (1.0, False)

@@ -43,27 +43,34 @@ class TestSequentialScenario:
 class TestConcurrentReadScenario:
     def test_read_completes_and_returns_valid_value(self):
         c = SodaCluster(n=6, f=2, num_writers=2, seed=1)
-        read_op = concurrent_read_scenario(c, concurrent_writes=3, seed=5)
-        assert read_op.is_complete
+        result = concurrent_read_scenario(c, concurrent_writes=3, seed=5)
+        assert result.read.is_complete
         written = {op.value for op in c.history.writes()}
-        assert read_op.value in written | {b""}
+        assert result.read.value in written | {b""}
 
     def test_zero_concurrency(self):
         c = SodaCluster(n=6, f=2, seed=2)
-        read_op = concurrent_read_scenario(c, concurrent_writes=0, seed=6)
-        assert read_op.is_complete
+        result = concurrent_read_scenario(c, concurrent_writes=0, seed=6)
+        assert result.read.is_complete
+
+    def test_writes_include_baseline_and_concurrent(self):
+        c = SodaCluster(n=6, f=2, num_writers=2, seed=1)
+        result = concurrent_read_scenario(c, concurrent_writes=3, seed=5)
+        assert len(result.writes) == 4
+        assert len(result.reads) == 1
+        assert result.all_complete
 
     def test_delta_w_tracks_concurrency_level(self):
         c = SodaCluster(n=6, f=2, num_writers=3, seed=3)
-        read_op = concurrent_read_scenario(c, concurrent_writes=3, seed=7)
-        assert c.measured_delta_w(read_op.op_id) >= 1
+        result = concurrent_read_scenario(c, concurrent_writes=3, seed=7)
+        assert c.measured_delta_w(result.read.op_id) >= 1
 
     def test_cost_within_theorem_bound(self):
         n, f = 6, 2
         c = SodaCluster(n=n, f=f, num_writers=3, seed=4)
-        read_op = concurrent_read_scenario(c, concurrent_writes=4, seed=8)
-        bound = n / (n - f) * (c.measured_delta_w(read_op.op_id) + 1)
-        assert c.operation_cost(read_op.op_id) <= bound + 1e-9
+        result = concurrent_read_scenario(c, concurrent_writes=4, seed=8)
+        bound = n / (n - f) * (c.measured_delta_w(result.read.op_id) + 1)
+        assert result.read_costs(c)[0] <= bound + 1e-9
 
 
 class TestCrashHeavyScenario:
@@ -84,16 +91,16 @@ class TestSkewedScenario:
     def test_read_fraction_controls_mix(self):
         c = SodaCluster(n=5, f=2, num_writers=2, num_readers=2, seed=7)
         result = skewed_scenario(c, read_fraction=0.75, total_ops=12, seed=11)
-        assert len(result.read_handles) == 9
-        assert len(result.write_handles) == 3
-        assert result.completed_operations == 12
+        assert len(result.reads) == 9
+        assert len(result.writes) == 3
+        assert result.all_complete
         assert check_linearizability(c.history, initial_value=b"")
 
     def test_pure_write_workload(self):
         c = SodaCluster(n=5, f=2, num_writers=2, seed=8)
         result = skewed_scenario(c, read_fraction=0.0, total_ops=6, seed=12)
-        assert result.read_handles == []
-        assert len(result.write_handles) == 6
+        assert result.reads == []
+        assert len(result.writes) == 6
 
     def test_invalid_fraction_rejected(self):
         c = SodaCluster(n=5, f=2, seed=9)
