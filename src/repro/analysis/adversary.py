@@ -60,6 +60,7 @@ from repro.analysis.longrun import (
     _require_complete,
     default_protocol_kwargs,
 )
+from repro.analysis.pool import in_order, max_rss_kb
 from repro.analysis.sweep import SweepSpec, iter_sweep
 from repro.consistency.incremental import Violation
 from repro.consistency.multiplex import ObjectCheckerMux
@@ -266,6 +267,7 @@ def adversary_epoch_point(
         "max_resident": mux.max_resident,
         "objects": object_payloads,
         "wall_s": wall_s,
+        "max_rss_kb": max_rss_kb(),
     }
 
 
@@ -350,6 +352,9 @@ class AdversaryRunReport:
     stream_max_resident: int = 0
     wall_s: float = 0.0
     jobs: int = 1
+    #: Peak resident-set size (KB) over the epoch workers; excluded from
+    #: artefacts like every non-deterministic field.
+    worker_max_rss_kb: int = 0
 
     # -- aggregate accessors ------------------------------------------------
     @property
@@ -620,13 +625,10 @@ def run_adversary(
 
     # Pipelined order-restoring fold, exactly as in run_multi_longrun.
     start = time.perf_counter()
-    buffered: Dict[int, Dict[str, object]] = {}
-    next_epoch = 0
-    for index, result in iter_sweep(spec, jobs=jobs):
-        buffered[index] = result
-        while next_epoch in buffered:
-            consume(buffered.pop(next_epoch))
-            next_epoch += 1
+    worker_rss = 0
+    for result in in_order(iter_sweep(spec, jobs=jobs)):
+        worker_rss = max(worker_rss, result["max_rss_kb"])
+        consume(result)
     merged = merge_namespace_verdicts(shards_by_object, initial_value=None)
     wall_s = time.perf_counter() - start
     return AdversaryRunReport(
@@ -669,6 +671,7 @@ def run_adversary(
         stream_max_resident=max(row.max_resident for row in epoch_rows),
         wall_s=wall_s,
         jobs=jobs,
+        worker_max_rss_kb=worker_rss,
     )
 
 

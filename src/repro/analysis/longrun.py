@@ -41,6 +41,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.analysis.pool import in_order, max_rss_kb
 from repro.analysis.sweep import SweepSpec, iter_sweep
 from repro.baselines.registry import make_cluster
 from repro.consistency.history import History
@@ -225,6 +226,7 @@ def longrun_epoch_point(
         "checker_ok": checker.ok,
         "verdict": verdict,
         "wall_s": wall_s,
+        "max_rss_kb": max_rss_kb(),
         "records": tuple(tap.records.values()) if tap is not None else None,
     }
 
@@ -316,6 +318,11 @@ class LongRunReport:
     stream_max_resident: int
     wall_s: float
     jobs: int
+    #: Peak resident-set size (KB) over the epoch workers — OS-level
+    #: memory ground truth per process, complementing the deterministic
+    #: record-count gauge.  Excluded from :meth:`to_jsonable` (it varies
+    #: run to run) like every other non-deterministic field.
+    worker_max_rss_kb: int = 0
     replay_history: Optional[History] = field(default=None, repr=False)
 
     # -- aggregate accessors ------------------------------------------------
@@ -552,17 +559,14 @@ def run_longrun(
     # finish (imap_unordered — no barrier on the slowest worker) and the
     # per-epoch rebase/summary work runs on the coordinator while later
     # epochs are still simulating.  Epoch offsets accumulate in epoch
-    # order, so an order-restoring cursor buffers out-of-order arrivals;
-    # the folded state — hence the merged verdict and every artefact byte
-    # — is identical for any jobs count.
+    # order, so the in_order cursor restores grid order; the folded state
+    # — hence the merged verdict and every artefact byte — is identical
+    # for any jobs count.
     start = time.perf_counter()
-    buffered: Dict[int, Dict[str, object]] = {}
-    next_epoch = 0
-    for index, result in iter_sweep(spec, jobs=jobs):
-        buffered[index] = result
-        while next_epoch in buffered:
-            consume(buffered.pop(next_epoch))
-            next_epoch += 1
+    worker_rss = 0
+    for result in in_order(iter_sweep(spec, jobs=jobs)):
+        worker_rss = max(worker_rss, result["max_rss_kb"])
+        consume(result)
     merged = merge_shard_verdicts(shards, initial_value=None)
     wall_s = time.perf_counter() - start
     return LongRunReport(
@@ -598,6 +602,7 @@ def run_longrun(
         stream_max_resident=max(row.max_resident for row in rows),
         wall_s=wall_s,
         jobs=jobs,
+        worker_max_rss_kb=worker_rss,
         replay_history=replay,
     )
 
@@ -743,6 +748,7 @@ def multiobj_epoch_point(
         "max_resident": mux.max_resident,
         "objects": object_payloads,
         "wall_s": wall_s,
+        "max_rss_kb": max_rss_kb(),
     }
 
 
@@ -811,6 +817,9 @@ class MultiObjectLongRunReport:
     stream_max_resident: int
     wall_s: float
     jobs: int
+    #: Peak resident-set size (KB) over the epoch workers (see
+    #: :class:`LongRunReport.worker_max_rss_kb`); excluded from artefacts.
+    worker_max_rss_kb: int = 0
     replay_histories: Optional[List[History]] = field(default=None, repr=False)
 
     # -- aggregate accessors ------------------------------------------------
@@ -1071,16 +1080,13 @@ def run_multi_longrun(
 
     # Pipelined merge, as in run_longrun: namespace epochs stream out of
     # the pool in completion order and are folded in epoch order by the
-    # buffered cursor, overlapping per-object rebase/summary work with
+    # in_order cursor, overlapping per-object rebase/summary work with
     # epochs still simulating; artefacts stay byte-identical for any jobs.
     start = time.perf_counter()
-    buffered: Dict[int, Dict[str, object]] = {}
-    next_epoch = 0
-    for index, result in iter_sweep(spec, jobs=jobs):
-        buffered[index] = result
-        while next_epoch in buffered:
-            consume(buffered.pop(next_epoch))
-            next_epoch += 1
+    worker_rss = 0
+    for result in in_order(iter_sweep(spec, jobs=jobs)):
+        worker_rss = max(worker_rss, result["max_rss_kb"])
+        consume(result)
     merged = merge_namespace_verdicts(shards_by_object, initial_value=None)
     wall_s = time.perf_counter() - start
     return MultiObjectLongRunReport(
@@ -1116,6 +1122,7 @@ def run_multi_longrun(
         stream_max_resident=max(row.max_resident for row in epoch_rows),
         wall_s=wall_s,
         jobs=jobs,
+        worker_max_rss_kb=worker_rss,
         replay_histories=replays,
     )
 

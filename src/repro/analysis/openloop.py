@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.longrun import _require_complete, default_protocol_kwargs
+from repro.analysis.pool import in_order, max_rss_kb
 from repro.analysis.sweep import SweepSpec, iter_sweep
 from repro.baselines.registry import make_cluster
 from repro.metrics.latency import LatencyHistogram
@@ -144,6 +145,7 @@ def openloop_epoch_point(
         "write_latency": stats.write_latency,
         "samples": samples,
         "wall_s": wall_s,
+        "max_rss_kb": max_rss_kb(),
     }
 
 
@@ -211,6 +213,9 @@ class OpenLoopReport:
     slo: float
     wall_s: float
     jobs: int
+    #: Peak resident-set size (KB) over the epoch workers; excluded from
+    #: artefacts like every non-deterministic field.
+    worker_max_rss_kb: int = 0
     samples: Optional[Dict[str, List[float]]] = None
 
     # -- aggregate accessors ------------------------------------------------
@@ -454,13 +459,10 @@ def run_openloop(
     # out of the pool as they finish, histograms merge in epoch order, so
     # every artefact byte is identical for any jobs count.
     start = time.perf_counter()
-    buffered: Dict[int, Dict[str, object]] = {}
-    next_epoch = 0
-    for index, result in iter_sweep(spec, jobs=jobs):
-        buffered[index] = result
-        while next_epoch in buffered:
-            consume(buffered.pop(next_epoch))
-            next_epoch += 1
+    worker_rss = 0
+    for result in in_order(iter_sweep(spec, jobs=jobs)):
+        worker_rss = max(worker_rss, result["max_rss_kb"])
+        consume(result)
     wall_s = time.perf_counter() - start
     return OpenLoopReport(
         protocol=protocol,
@@ -496,6 +498,7 @@ def run_openloop(
         slo=slo,
         wall_s=wall_s,
         jobs=jobs,
+        worker_max_rss_kb=worker_rss,
         samples=samples,
     )
 

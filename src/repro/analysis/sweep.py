@@ -27,9 +27,10 @@ CLI exposes the registry in :mod:`repro.analysis.sweeps` via
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Tuple
+
+from repro.analysis.pool import iter_unordered
 
 
 def derive_seed(base_seed: int, sweep_name: str, index: int) -> int:
@@ -111,27 +112,12 @@ def iter_sweep(spec: SweepSpec, *, jobs: int = 1) -> Iterator[Tuple[int, Any]]:
     can pipeline per-point post-processing against points still
     simulating instead of barriering on the whole pool.  The index
     identifies each result; order-sensitive consumers restore point order
-    with a buffered next-expected cursor (see
-    :func:`repro.analysis.longrun.run_longrun`) or simply collect into a
+    with the buffered next-expected cursor
+    :func:`repro.analysis.pool.in_order` or simply collect into a
     preallocated list (see :func:`run_sweep`).
     """
-    if jobs < 1:
-        raise ValueError("jobs must be at least 1")
-    return _iter_sweep(spec, jobs)
-
-
-def _iter_sweep(spec: SweepSpec, jobs: int) -> Iterator[Tuple[int, Any]]:
-    """Generator body of :func:`iter_sweep` (validation stays fail-fast
-    at the call site rather than deferring to first iteration)."""
-    points = spec.points()
-    if jobs == 1 or len(points) <= 1:
-        for point in points:
-            yield _run_point((spec.fn, point))
-        return
-    payloads = [(spec.fn, p) for p in points]
-    context = multiprocessing.get_context("spawn")
-    with context.Pool(processes=min(jobs, len(payloads))) as pool:
-        yield from pool.imap_unordered(_run_point, payloads)
+    payloads = [(spec.fn, point) for point in spec.points()]
+    return iter_unordered(_run_point, payloads, jobs=jobs)
 
 
 def run_sweep(spec: SweepSpec, *, jobs: int = 1) -> List[Any]:

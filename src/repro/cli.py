@@ -41,6 +41,16 @@ latency percentiles come from bounded-memory mergeable histograms; the
 artefacts under ``--results-dir`` are byte-identical for every jobs
 count.
 
+``--fleet P`` on ``longrun``, ``openloop`` and ``adversary`` switches to
+fleet mode: every epoch's namespace is partitioned into ``P`` slices
+(LPT on the key-popularity shares), each slice simulating its objects in
+its own spawned process, so a namespace run saturates all cores.  Every
+object's event stream is a pure function of ``(seed, object)``, so the
+``results/fleet_*`` artefacts are byte-identical for any
+``--fleet``/``--jobs``/``--checker-workers`` combination; the summary
+reports the all-core capacity (``issued / fleet CPU critical path``)
+alongside this host's wall-clock rate.
+
 ``--faults`` accepts the unified fault-plan spec
 (:func:`repro.workloads.faults.parse_faults`) on ``longrun``,
 ``openloop`` and ``adversary`` alike; ``experiment adversary`` adds a
@@ -58,6 +68,12 @@ from typing import List, Optional
 
 from repro.analysis import experiments as exp
 from repro.analysis.adversary import run_adversary, write_adversary_artefacts
+from repro.analysis.fleet import (
+    run_fleet_adversary,
+    run_fleet_longrun,
+    run_fleet_openloop,
+    write_fleet_artefacts,
+)
 from repro.analysis.longrun import (
     run_longrun,
     run_multi_longrun,
@@ -196,10 +212,172 @@ def _cmd_multiobj_longrun(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _print_fleet_capacity(report, args: argparse.Namespace) -> None:
+    """The fleet capacity lines shared by all three fleet commands."""
+    print(
+        f"capacity        : {report.fleet_ops_per_s:.0f} ops/s sustained with "
+        f"one core per partition ({report.fleet_cpu_s:.1f} CPU-s critical "
+        f"path, {report.fleet_events_per_s:.0f} events/s)"
+    )
+    print(
+        f"this host       : {report.ops_per_s:.0f} ops/s wall "
+        f"({report.events} simulated events in {report.wall_s:.1f}s, "
+        f"--fleet {args.fleet} --jobs {args.jobs})"
+    )
+
+
+def _cmd_fleet_longrun(args: argparse.Namespace) -> int:
+    try:
+        report = run_fleet_longrun(
+            args.protocol,
+            ops=args.ops,
+            epoch_ops=args.epoch_ops,
+            fleet=args.fleet,
+            jobs=args.jobs,
+            objects=args.objects,
+            key_dist=args.key_dist,
+            n=args.n,
+            f=args.f,
+            seed=args.seed,
+            checker_workers=args.checker_workers,
+            faults=args.faults,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"{report.protocol} fleet longrun: {report.issued} ops over "
+        f"{report.objects} objects ({report.params['key_dist']}) in "
+        f"{args.fleet} partitions, {len(report.epochs)} epochs, "
+        f"{report.completed} completed, {report.failed} failed"
+    )
+    _print_fleet_capacity(report, args)
+    verdict = report.verdict
+    print(
+        f"namespace       : {'ATOMIC' if report.ok else 'VIOLATIONS'} "
+        f"({verdict.clusters} clusters, {verdict.crossings_tested} crossings "
+        f"tested, {verdict.shards} shards per object)"
+    )
+    for obj, violation in report.local_violations[:5]:
+        print(f"  online o{obj}: {violation}")
+    if not args.no_artefacts:
+        json_path, csv_path = write_fleet_artefacts(report, Path(args.results_dir))
+        print(f"artefacts       : {json_path} {csv_path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_fleet_openloop(args: argparse.Namespace) -> int:
+    num_writers = max(1, args.clients // 2)
+    num_readers = max(1, args.clients - num_writers)
+    try:
+        report = run_fleet_openloop(
+            args.protocol,
+            ops=args.ops,
+            epoch_ops=args.epoch_ops,
+            fleet=args.fleet,
+            jobs=args.jobs,
+            objects=args.objects,
+            key_dist=args.key_dist,
+            arrival=args.arrival,
+            read_fraction=args.read_fraction,
+            policy=args.admission,
+            queue_per_server=args.queue_per_server,
+            op_timeout=args.op_timeout if args.op_timeout > 0 else None,
+            slo=args.slo,
+            n=args.n,
+            f=args.f,
+            num_writers=num_writers,
+            num_readers=num_readers,
+            seed=args.seed,
+            faults=args.faults,
+        )
+    except ValueError as exc:
+        print(f"openloop: {exc}", file=sys.stderr)
+        return 2
+    summary = report.latency().summary()
+    print(
+        f"{report.protocol} fleet openloop: {report.arrived} arrivals "
+        f"({report.params['arrival']}) over {report.objects} objects in "
+        f"{args.fleet} partitions, {len(report.epochs)} epochs, "
+        f"policy {report.params['policy']}"
+    )
+    print(
+        f"admission       : {report.admitted} admitted, {report.rejected} "
+        f"rejected, {report.shed_reads} reads shed, {report.timed_out} timed out"
+    )
+    _print_fleet_capacity(report, args)
+    print(
+        f"latency (ms)    : p50={format_latency(report.p50)} "
+        f"p99={format_latency(report.p99)} p999={format_latency(report.p999)} "
+        f"mean={format_latency(summary['mean'])}"
+    )
+    print(
+        f"slo             : {format_latency(100.0 * report.slo_attainment(), precision=2)}% "
+        f"of completed ops within {report.slo:g} ms"
+    )
+    if not args.no_artefacts:
+        json_path, csv_path = write_fleet_artefacts(report, Path(args.results_dir))
+        print(f"artefacts       : {json_path} {csv_path}")
+    return 0
+
+
+def _cmd_fleet_adversary(args: argparse.Namespace, faults: str) -> int:
+    try:
+        report = run_fleet_adversary(
+            args.protocol,
+            ops=args.ops,
+            epoch_ops=args.epoch_ops,
+            fleet=args.fleet,
+            jobs=args.jobs,
+            objects=args.objects,
+            key_dist=args.key_dist,
+            faults=faults,
+            n=args.n,
+            f=args.f,
+            seed=args.seed,
+            stall_threshold=args.stall_threshold,
+            checker_workers=args.checker_workers,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    detection = report.detection_summary()
+    print(
+        f"{report.protocol} fleet adversary: {report.issued} ops over "
+        f"{report.objects} objects under {report.params['faults']!r} in "
+        f"{args.fleet} partitions, {len(report.epochs)} epochs, "
+        f"{report.completed} completed, {report.failed} failed"
+    )
+    _print_fleet_capacity(report, args)
+    print(
+        f"audit detection : {detection['detected']}/{detection['below_k_rows']} "
+        f"below-k registers flagged "
+        f"({detection['detected_before_stall']} before any foreground stall), "
+        f"{detection['missed']} missed, {detection['false_flags']} false flags, "
+        f"{detection['stalled_reads']} stalled reads"
+    )
+    for row in report.object_rows:
+        if row.below_k and not row.detected_before_stall:
+            print(
+                f"  MISSED e{row.epoch}/o{row.object}: "
+                f"{row.surviving_elements} surviving elements, "
+                f"flagged_at={row.first_flagged_at}, "
+                f"first_stall_at={row.first_stall_at}"
+            )
+    for obj, violation in report.local_violations[:5]:
+        print(f"  online o{obj}: {violation}")
+    if not args.no_artefacts:
+        json_path, csv_path = write_fleet_artefacts(report, Path(args.results_dir))
+        print(f"artefacts       : {json_path} {csv_path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_longrun(args: argparse.Namespace) -> int:
     if args.objects < 1:
         print(f"--objects must be at least 1, got {args.objects}", file=sys.stderr)
         return 2
+    if args.fleet:
+        return _cmd_fleet_longrun(args)
     if args.objects > 1:
         return _cmd_multiobj_longrun(args)
     if args.key_dist != "uniform":
@@ -258,6 +436,8 @@ def _cmd_openloop(args: argparse.Namespace) -> int:
     if args.objects < 1:
         print(f"--objects must be at least 1, got {args.objects}", file=sys.stderr)
         return 2
+    if args.fleet:
+        return _cmd_fleet_openloop(args)
     num_writers = max(1, args.clients // 2)
     num_readers = max(1, args.clients - num_writers)
     try:
@@ -330,6 +510,8 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
         if args.faults != "none"
         else "withhold:1:40:30;partition:2:10:12"
     )
+    if args.fleet:
+        return _cmd_fleet_adversary(args, faults)
     try:
         report = run_adversary(
             args.protocol,
@@ -576,6 +758,17 @@ def build_parser() -> argparse.ArgumentParser:
         "checkers in this many spawned worker processes (verdicts are "
         "byte-identical for any count; >1 is ignored under --jobs>1, "
         "whose pool workers cannot spawn children)",
+    )
+    p_exp.add_argument(
+        "--fleet",
+        type=int,
+        default=0,
+        help="with 'longrun'/'openloop'/'adversary': partition the "
+        "namespace's objects into this many fleet partitions, each epoch's "
+        "partitions simulating in their own spawned processes (composes "
+        "with --jobs: up to jobs x fleet processes); artefacts are "
+        "byte-identical for any --fleet/--jobs/--checker-workers "
+        "combination (0 disables fleet mode)",
     )
     p_exp.add_argument(
         "--arrival",

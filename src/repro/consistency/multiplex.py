@@ -34,9 +34,11 @@ In serial mode checkers sit behind
 :class:`~repro.consistency.stream.CheckerBatcher` shims, so crossing
 tests run once per event-loop drain there too.
 
-Spawning children is impossible from a daemonic process (the sweep pool's
-workers are daemonic), so a mux constructed inside one silently falls
-back to serial checking — same results, by the construction above.
+Spawning children is impossible from a daemonic process (the sweep and
+fleet pools' workers are daemonic), so a mux constructed inside one falls
+back to serial checking with a :class:`RuntimeWarning` (via
+:func:`repro.analysis.pool.resolve_workers`) — same results, by the
+construction above, just without the extra processes.
 """
 
 from __future__ import annotations
@@ -210,11 +212,18 @@ class ObjectCheckerMux:
             max_violations=max_violations,
         )
         workers = min(workers, objects)
-        if workers > 1 and multiprocessing.current_process().daemon:
-            # Daemonic processes (e.g. sweep-pool workers) cannot spawn
-            # children; fall back to serial checking — byte-identical
-            # results by construction.
-            workers = 1
+        if workers > 1:
+            # Daemonic processes (e.g. sweep-pool or fleet-cell workers)
+            # cannot spawn children; the shared pool helper degrades the
+            # request to serial checking with a loud warning — results
+            # are byte-identical by construction, only slower.  Imported
+            # lazily: repro.analysis pulls in this module at package
+            # import time.
+            from repro.analysis.pool import resolve_workers
+
+            workers = resolve_workers(
+                workers, what="ObjectCheckerMux checker workers"
+            )
         #: Effective worker count after capping and the daemon fallback.
         self.workers = workers
         self.recorders: List[StreamingRecorder] = [

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -49,7 +49,7 @@ from repro.sim.failures import CrashSchedule
 from repro.sim.network import DelayModel
 from repro.sim.simulation import EventBudgetExceeded, Simulation
 from repro.workloads.arrivals import ArrivalProcess
-from repro.workloads.keyed import KeyDistribution
+from repro.workloads.keyed import KeyDistribution, plan_objects
 
 
 def object_namespace(index: int) -> str:
@@ -193,10 +193,21 @@ class MultiRegisterCluster:
     """N independent atomic registers multiplexed over one simulation.
 
     Parameters mirror :class:`~repro.runtime.cluster.RegisterCluster`; the
-    extra ones are ``objects`` (the namespace size), ``recorder_factory``
-    (``obj_index -> HistorySink`` so each object can record through its own
-    bounded sink) and ``protocol_kwargs`` (protocol-specific constructor
-    arguments such as CASGC's ``delta``, applied to every object).
+    extra ones are ``objects`` (how many registers this cluster hosts),
+    ``recorder_factory`` (``obj_index -> HistorySink`` so each object can
+    record through its own bounded sink) and ``protocol_kwargs``
+    (protocol-specific constructor arguments such as CASGC's ``delta``,
+    applied to every object).
+
+    ``object_ids`` / ``namespace_size`` make the cluster a *subset view*
+    of a larger logical namespace: the hosted registers carry the given
+    global indices (pid namespaces, fault-leg seed derivations and driver
+    plans all use the global index), while allocation and fault-victim
+    draws consume their rng over ``namespace_size`` — so a fleet of
+    subset clusters, each simulating a slice of the namespace, reproduces
+    exactly the per-object inputs of the monolithic cluster.  Both
+    default to the hosted count, which is byte-identical to the
+    pre-subset behaviour.
     """
 
     def __init__(
@@ -214,9 +225,32 @@ class MultiRegisterCluster:
         keep_message_trace: bool = False,
         recorder_factory=None,
         protocol_kwargs: Optional[Dict[str, object]] = None,
+        object_ids: Optional[Sequence[int]] = None,
+        namespace_size: Optional[int] = None,
     ) -> None:
         if objects < 1:
             raise ValueError("need at least one object")
+        if object_ids is None:
+            ids = list(range(objects))
+        else:
+            ids = [int(g) for g in object_ids]
+            if len(ids) != objects:
+                raise ValueError(
+                    f"object_ids names {len(ids)} objects, expected {objects}"
+                )
+            if len(set(ids)) != len(ids):
+                raise ValueError("object_ids must be distinct")
+        size = (
+            int(namespace_size)
+            if namespace_size is not None
+            else (max(ids) + 1 if ids else objects)
+        )
+        if any(g < 0 or g >= size for g in ids):
+            raise ValueError(
+                f"object_ids must lie within [0, {size}) (namespace_size)"
+            )
+        self.object_ids: List[int] = ids
+        self.namespace_size = size
         self.protocol = protocol
         self.n = n
         self.f = f
@@ -225,7 +259,7 @@ class MultiRegisterCluster:
         )
         self.costs = CommunicationCostTracker().attach(self.sim.network)
         self.objects: List[RegisterCluster] = []
-        for j in range(objects):
+        for j, gid in enumerate(ids):
             recorder: Optional[HistorySink] = (
                 recorder_factory(j) if recorder_factory is not None else None
             )
@@ -239,7 +273,7 @@ class MultiRegisterCluster:
                     initial_value=initial_value,
                     recorder=recorder,
                     sim=self.sim,
-                    namespace=object_namespace(j),
+                    namespace=object_namespace(gid),
                     costs=self.costs,
                     **dict(protocol_kwargs or {}),
                 )
@@ -323,20 +357,19 @@ class MultiRegisterCluster:
         if faults is not None:
             self.apply_fault_plan(faults, seed=seed)
         dist = key_dist if key_dist is not None else KeyDistribution.uniform()
-        rng = np.random.default_rng(seed)
-        allocation = dist.allocate(operations, len(self.objects), rng)
-        object_seeds = [
-            int(s) for s in rng.integers(0, 2**63 - 1, size=len(self.objects))
-        ]
+        # Drawn over the whole logical namespace, so a subset cluster
+        # reproduces the monolithic per-object budgets and driver seeds.
+        plan = plan_objects(dist, operations, self.namespace_size, seed)
+        allocation = [plan.allocation[g] for g in self.object_ids]
         events_before = self.sim.events_processed
 
         stats = NamespaceStreamedStats(requested=operations, allocation=allocation)
         finalizers = []
-        for j, (obj, ops_j) in enumerate(zip(self.objects, allocation)):
+        for gid, obj, ops_j in zip(self.object_ids, self.objects, allocation):
             per_obj, finalize = obj._begin_streamed(
                 operations=ops_j,
-                seed=object_seeds[j],
-                value_prefix=f"{value_prefix}o{j}|",
+                seed=plan.object_seeds[gid],
+                value_prefix=f"{value_prefix}o{gid}|",
                 config=cfg,
             )
             stats.per_object.append(per_obj)
@@ -422,22 +455,21 @@ class MultiRegisterCluster:
         if faults is not None:
             self.apply_fault_plan(faults, seed=seed)
         dist = key_dist if key_dist is not None else KeyDistribution.uniform()
-        rng = np.random.default_rng(seed)
-        allocation = dist.allocate(operations, len(self.objects), rng)
-        probabilities = dist.probabilities(len(self.objects))
-        object_seeds = [
-            int(s) for s in rng.integers(0, 2**63 - 1, size=len(self.objects))
-        ]
+        # Drawn over the whole logical namespace, so a subset cluster
+        # reproduces the monolithic per-object budgets, arrival shares
+        # and driver seeds.
+        plan = plan_objects(dist, operations, self.namespace_size, seed)
+        allocation = [plan.allocation[g] for g in self.object_ids]
         events_before = self.sim.events_processed
 
         stats = NamespaceOpenLoopStats(requested=operations, allocation=allocation)
         finalizers = []
-        for j, (obj, ops_j) in enumerate(zip(self.objects, allocation)):
+        for gid, obj, ops_j in zip(self.object_ids, self.objects, allocation):
             per_obj, finalize = obj._begin_open_loop(
                 operations=ops_j,
-                arrival=arrival.scaled(float(probabilities[j])),
-                seed=object_seeds[j],
-                value_prefix=f"{value_prefix}o{j}|",
+                arrival=arrival.scaled(plan.probabilities[gid]),
+                seed=plan.object_seeds[gid],
+                value_prefix=f"{value_prefix}o{gid}|",
                 config=cfg,
             )
             stats.per_object.append(per_obj)
@@ -534,14 +566,19 @@ class MultiRegisterCluster:
             raise TypeError(
                 f"expected a FaultPlan or fault spec string, got {type(plan).__name__}"
             )
-        count = len(self.objects)
+        # Every per-object rng derives from the object's *global* index,
+        # and the withhold victim draw runs over the *logical* namespace
+        # size — so a subset cluster materialises exactly the faults its
+        # objects would see in the monolithic namespace (for a full
+        # cluster both reduce to the hosted count).
+        count = self.namespace_size
         if not plan:
             applied = AppliedFaultPlan(plan_spec=plan.spec())
             self.applied_faults = applied
             return applied
 
         per_object: Dict[int, Dict[str, object]] = {
-            j: {} for j in range(count)
+            j: {} for j in range(len(self.objects))
         }
         slow_union: List[str] = []
         withheld_windows: Dict[str, tuple] = {}
@@ -549,16 +586,16 @@ class MultiRegisterCluster:
         adversaries = []
 
         if plan.crash is not None and plan.crash.count:
-            for j, obj in enumerate(self.objects):
-                rng = np.random.default_rng(fault_seed(seed, "crash", j))
+            for j, (gid, obj) in enumerate(zip(self.object_ids, self.objects)):
+                rng = np.random.default_rng(fault_seed(seed, "crash", gid))
                 schedule = plan.crash.materialise(obj.server_ids, rng)
                 obj.apply_crash_schedule(schedule)
                 per_object[j]["crashed"] = tuple(
                     (e.pid, e.time) for e in schedule
                 )
         if plan.slow is not None and plan.slow.count:
-            for j, obj in enumerate(self.objects):
-                rng = np.random.default_rng(fault_seed(seed, "slow", j))
+            for j, (gid, obj) in enumerate(zip(self.object_ids, self.objects)):
+                rng = np.random.default_rng(fault_seed(seed, "slow", gid))
                 chosen = plan.slow.choose(obj.server_ids, rng)
                 per_object[j]["slow"] = chosen
                 slow_union.extend(chosen)
@@ -580,16 +617,17 @@ class MultiRegisterCluster:
                 rng = np.random.default_rng(
                     fault_seed(seed, "withhold-objects", 0)
                 )
-                victims = sorted(
+                victims = set(
                     int(i)
                     for i in rng.choice(count, size=leg.objects, replace=False)
                 )
             else:
-                victims = list(range(count))
+                victims = set(range(count))
             window = (leg.start, leg.end)
-            for j in victims:
-                obj = self.objects[j]
-                rng = np.random.default_rng(fault_seed(seed, "withhold", j))
+            for j, (gid, obj) in enumerate(zip(self.object_ids, self.objects)):
+                if gid not in victims:
+                    continue
+                rng = np.random.default_rng(fault_seed(seed, "withhold", gid))
                 withheld = leg.choose(obj.server_ids, obj.code.k, rng)
                 surviving = obj.n - len(withheld)
                 per_object[j]["withheld"] = withheld
@@ -602,8 +640,8 @@ class MultiRegisterCluster:
         if plan.partition is not None:
             leg = plan.partition
             window = (leg.start, leg.end)
-            for j, obj in enumerate(self.objects):
-                rng = np.random.default_rng(fault_seed(seed, "partition", j))
+            for j, (gid, obj) in enumerate(zip(self.object_ids, self.objects)):
+                rng = np.random.default_rng(fault_seed(seed, "partition", gid))
                 isolated = leg.choose(obj.server_ids, rng)
                 per_object[j]["isolated"] = isolated
                 per_object[j]["partition_window"] = window
@@ -625,7 +663,7 @@ class MultiRegisterCluster:
             plan_spec=plan.spec(),
             objects=tuple(
                 AppliedObjectFaults(
-                    object_index=j,
+                    object_index=gid,
                     crashed=per_object[j].get("crashed", ()),
                     slow=per_object[j].get("slow", ()),
                     withheld=per_object[j].get("withheld", ()),
@@ -635,7 +673,7 @@ class MultiRegisterCluster:
                     isolated=per_object[j].get("isolated", ()),
                     partition_window=per_object[j].get("partition_window"),
                 )
-                for j in range(count)
+                for j, gid in enumerate(self.object_ids)
             ),
         )
         self.applied_faults = applied

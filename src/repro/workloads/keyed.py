@@ -26,7 +26,7 @@ over worker processes without perturbing results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -125,6 +125,83 @@ def parse_key_dist(spec: str) -> KeyDistribution:
         f"unknown key distribution {spec!r}; expected 'uniform', 'zipf' or "
         f"'zipf:<theta>'"
     )
+
+
+@dataclass(frozen=True)
+class ObjectPlan:
+    """The deterministic per-object driver plan of a namespace run.
+
+    One :func:`plan_objects` call captures everything a namespace driver
+    draws *before* any object simulates: the multinomial operation split,
+    one derived driver seed per object, and the per-object popularity
+    shares.  Because the draw order is fixed (allocation first, then the
+    seed block) and consumes the rng over the **whole** namespace size,
+    the plan is a pure function of ``(dist, total, objects, seed)`` — a
+    cluster serving any *subset* of the namespace's objects reproduces
+    the identical plan and simply indexes its own rows.  That is the
+    contract fleet mode's byte-identity rests on: partitioning the
+    namespace across processes never perturbs any object's driver inputs.
+    """
+
+    total: int
+    allocation: Tuple[int, ...]
+    object_seeds: Tuple[int, ...]
+    probabilities: Tuple[float, ...]
+
+    @property
+    def objects(self) -> int:
+        return len(self.allocation)
+
+
+def plan_objects(
+    dist: KeyDistribution, total: int, objects: int, seed: int
+) -> ObjectPlan:
+    """Draw the namespace driver plan — exactly the rng sequence
+    :meth:`repro.runtime.namespace.MultiRegisterCluster.run_streamed` and
+    :meth:`~repro.runtime.namespace.MultiRegisterCluster.run_open_loop`
+    consume: one multinomial :meth:`KeyDistribution.allocate` over all
+    ``objects``, then one block of ``objects`` 63-bit driver seeds.
+    ``probabilities`` rides along for open-loop arrival rescaling (it
+    consumes no rng state)."""
+    rng = np.random.default_rng(seed)
+    allocation = dist.allocate(total, objects, rng)
+    object_seeds = [int(s) for s in rng.integers(0, 2**63 - 1, size=objects)]
+    return ObjectPlan(
+        total=total,
+        allocation=tuple(allocation),
+        object_seeds=tuple(object_seeds),
+        probabilities=tuple(float(p) for p in dist.probabilities(objects)),
+    )
+
+
+def partition_objects(
+    dist: KeyDistribution, objects: int, partitions: int
+) -> List[List[int]]:
+    """Split object indices into load-balanced partitions (LPT greedy).
+
+    Objects are assigned hottest-first to the currently lightest
+    partition (longest-processing-time heuristic on the popularity
+    shares), so a Zipf-skewed namespace's hot key does not drag a cold
+    key's partition along with it.  Deterministic: shares tie-break by
+    lower object index, bins by lower bin index.  Returns
+    ``min(partitions, objects)`` non-empty partitions, each sorted by
+    object index.  The *assignment* is a scheduling choice only — fleet
+    artefacts are byte-identical whichever partition simulates an object.
+    """
+    if objects < 1:
+        raise ValueError("need at least one object")
+    if partitions < 1:
+        raise ValueError("need at least one partition")
+    count = min(partitions, objects)
+    shares = dist.probabilities(objects)
+    order = sorted(range(objects), key=lambda j: (-shares[j], j))
+    loads = [0.0] * count
+    bins: List[List[int]] = [[] for _ in range(count)]
+    for j in order:
+        target = min(range(count), key=lambda p: (loads[p], p))
+        bins[target].append(j)
+        loads[target] += float(shares[j])
+    return [sorted(bin_) for bin_ in bins]
 
 
 def correlated_crash_schedule(

@@ -1,0 +1,249 @@
+"""Tests for fleet mode: partitioned namespaces across OS processes.
+
+The load-bearing property is the byte-identity contract: partitioning is
+a *scheduling* choice, so every artefact byte must be independent of
+``fleet`` (how many partitions), ``jobs`` (how many epochs in flight)
+and ``checker_workers`` (where the checkers run).  The cross-validation
+class pins the fleet timeline to the monolithic namespace engine: both
+draw the same :func:`~repro.workloads.keyed.plan_objects` grid, so every
+object's allocation, driver seed and issued count must match exactly.
+
+Note the deliberate *limit* of that contract: the monolithic run
+schedules all objects on one shared simulation clock while each fleet
+object runs on its own, and the closed-loop driver's write/read split is
+client-timing dependent — so per-object ``writes``/``reads`` may drift
+by a slot or two between the two engines (their sum may not: every
+issued operation is one or the other).  Fleet-vs-fleet stays exact.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.analysis.fleet import (
+    fleet_artefact_paths,
+    run_fleet_adversary,
+    run_fleet_longrun,
+    run_fleet_openloop,
+    write_fleet_artefacts,
+)
+from repro.analysis.longrun import run_multi_longrun
+from repro.analysis.pool import in_order, iter_unordered, resolve_workers
+from repro.runtime.fleet import fleet_object_seed
+
+
+def small_fleet_run(**overrides):
+    defaults = dict(
+        protocol="SODA",
+        ops=240,
+        epoch_ops=120,
+        fleet=1,
+        jobs=1,
+        objects=4,
+        key_dist="zipf:1.1",
+        n=5,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return run_fleet_longrun(defaults.pop("protocol"), **defaults)
+
+
+class TestFleetDeterminism:
+    """Artefact bytes are identical for any --fleet/--jobs/--checker-workers."""
+
+    def canonical(self, report):
+        return json.dumps(report.to_jsonable(), sort_keys=True)
+
+    def test_longrun_identical_across_the_matrix(self):
+        reference = self.canonical(small_fleet_run())
+        for fleet, jobs, checker_workers in (
+            (2, 1, 1),
+            (4, 2, 1),
+            (2, 1, 2),
+            (1, 2, 2),
+        ):
+            report = small_fleet_run(
+                fleet=fleet, jobs=jobs, checker_workers=checker_workers
+            )
+            assert self.canonical(report) == reference, (
+                f"fleet={fleet} jobs={jobs} checker_workers={checker_workers}"
+            )
+            assert report.ok
+
+    def test_openloop_identical_across_partitions(self):
+        def run(fleet, jobs=1):
+            return run_fleet_openloop(
+                "SODA",
+                ops=240,
+                epoch_ops=120,
+                fleet=fleet,
+                jobs=jobs,
+                objects=4,
+                key_dist="zipf:1.1",
+                arrival="poisson:4",
+                n=5,
+                seed=11,
+            )
+
+        reference = self.canonical(run(1))
+        assert self.canonical(run(2)) == reference
+        assert self.canonical(run(4, jobs=2)) == reference
+
+    def test_adversary_identical_across_partitions(self):
+        def run(fleet):
+            return run_fleet_adversary(
+                "SODA",
+                ops=240,
+                epoch_ops=120,
+                fleet=fleet,
+                objects=4,
+                key_dist="zipf:1.1",
+                n=6,
+                seed=11,
+            )
+
+        first, second = run(1), run(2)
+        assert self.canonical(first) == self.canonical(second)
+        # The detection contract itself must hold, not just determinism:
+        # every withheld-below-k register flagged before any foreground
+        # stall, no healthy register ever flagged.
+        assert first.ok
+        assert all(
+            row.detected_before_stall for row in first.object_rows if row.below_k
+        )
+        assert not any(row.false_flag for row in first.object_rows)
+
+    def test_artefact_bytes_identical_across_fleet(self, tmp_path):
+        for fleet, sub in ((1, "f1"), (3, "f3")):
+            write_fleet_artefacts(small_fleet_run(fleet=fleet), tmp_path / sub)
+        for suffix in (".json", ".csv"):
+            first = (tmp_path / "f1" / f"fleet_soda_4x240{suffix}").read_bytes()
+            second = (tmp_path / "f3" / f"fleet_soda_4x240{suffix}").read_bytes()
+            assert first == second
+
+    def test_jsonable_excludes_scheduling_and_wall_clock(self):
+        flat = json.dumps(small_fleet_run(fleet=2).to_jsonable())
+        for needle in ("wall", "ops_per_s", "cpu_s", "rss", '"fleet":', '"jobs":'):
+            assert needle not in flat, needle
+
+
+class TestMonolithicCrossValidation:
+    """Per-partition replay against the monolithic namespace engine."""
+
+    def test_per_object_rows_match_the_monolithic_run(self):
+        config = dict(
+            ops=240, epoch_ops=120, objects=4, key_dist="zipf:1.1", n=5, seed=11
+        )
+        fleet_report = run_fleet_longrun("SODA", fleet=2, **config)
+        mono_report = run_multi_longrun("SODA", jobs=1, **config)
+        assert fleet_report.ok and mono_report.ok
+
+        mono_rows = {(r.epoch, r.object): r for r in mono_report.object_rows}
+        assert len(fleet_report.object_rows) == len(mono_rows)
+        for row in fleet_report.object_rows:
+            mono = mono_rows[(row.epoch, row.object)]
+            # The shared plan: same multinomial allocation, same derived
+            # driver seed, and the closed loop issues every allocated op.
+            assert row.allocated == mono.allocated
+            assert row.seed == mono.seed
+            assert row.issued == mono.issued
+            # The write/read split is client-timing dependent (see module
+            # docstring) — only the sum is pinned.
+            assert row.writes + row.reads == row.issued
+            assert mono.writes + mono.reads == mono.issued
+            assert row.checker_ok and mono.checker_ok
+
+    def test_totals_match_the_monolithic_run(self):
+        config = dict(
+            ops=240, epoch_ops=120, objects=4, key_dist="zipf:1.1", n=5, seed=11
+        )
+        fleet_report = run_fleet_longrun("SODA", fleet=4, **config)
+        mono_report = run_multi_longrun("SODA", jobs=1, **config)
+        assert fleet_report.issued == mono_report.issued == 240
+        assert [t["issued"] for t in fleet_report.object_totals()] == [
+            t["issued"] for t in mono_report.object_totals()
+        ]
+
+
+class TestSeedDerivation:
+    def test_fleet_object_seed_is_stable_and_spread(self):
+        # The published derivation contract: sha256("fleet:{seed}:object:{gid}").
+        assert fleet_object_seed(7, 0) == fleet_object_seed(7, 0)
+        seeds = {fleet_object_seed(7, gid) for gid in range(64)}
+        assert len(seeds) == 64
+        assert all(0 <= s < 2**63 - 1 for s in seeds)
+        assert fleet_object_seed(8, 0) != fleet_object_seed(7, 0)
+
+
+class TestCapacityAccounting:
+    def test_capacity_fields_populate(self):
+        report = small_fleet_run(fleet=2)
+        assert report.fleet_cpu_s > 0
+        assert report.wall_s > 0
+        assert report.fleet_ops_per_s > 0
+        assert report.fleet_events_per_s > 0
+        assert report.worker_max_rss_kb >= 0
+        assert report.fleet == 2
+
+    def test_artefact_paths_and_kind(self, tmp_path):
+        report = small_fleet_run()
+        json_path, csv_path = write_fleet_artefacts(report, tmp_path)
+        assert (json_path, csv_path) == fleet_artefact_paths(report, tmp_path)
+        payload = json.loads(json_path.read_text())
+        assert payload["kind"] == "fleet-longrun"
+        assert payload["params"]["objects"] == 4
+        assert payload["totals"]["issued"] == 240
+        assert len(payload["object_rows"]) == 2 * 4  # epochs x objects
+        lines = csv_path.read_text().strip().splitlines()
+        assert len(lines) == 1 + 2 * 4
+
+
+class TestPoolHelpers:
+    def test_in_order_restores_grid_order(self):
+        shuffled = [(2, "c"), (0, "a"), (3, "d"), (1, "b")]
+        assert list(in_order(shuffled)) == ["a", "b", "c", "d"]
+
+    def test_in_order_raises_on_a_gap(self):
+        with pytest.raises(RuntimeError, match="gap at index 1"):
+            list(in_order([(0, "a"), (2, "c")]))
+
+    def test_iter_unordered_serial_preserves_payload_order(self):
+        assert list(iter_unordered(str, [3, 1, 2], jobs=1)) == ["3", "1", "2"]
+
+    def test_iter_unordered_validates_jobs(self):
+        with pytest.raises(ValueError, match="jobs must be at least 1"):
+            list(iter_unordered(str, [1], jobs=0))
+
+    def test_resolve_workers_validates(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            resolve_workers(0)
+
+    def test_resolve_workers_degrades_inside_daemonic_workers(self, monkeypatch):
+        import multiprocessing
+
+        class FakeProcess:
+            daemon = True
+
+        monkeypatch.setattr(multiprocessing, "current_process", FakeProcess)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert resolve_workers(4, what="fleet cells") == 1
+        assert any(
+            issubclass(w.category, RuntimeWarning)
+            and "fleet cells" in str(w.message)
+            for w in caught
+        )
+
+    def test_resolve_workers_passes_through_outside_daemons(self):
+        assert resolve_workers(4) == 4
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError, match="ops must be positive"):
+            run_fleet_longrun("SODA", ops=0, objects=2)
+        with pytest.raises(ValueError, match="fleet must be positive"):
+            run_fleet_longrun("SODA", ops=10, objects=2, fleet=0)
+        with pytest.raises(ValueError, match="unknown key distribution"):
+            run_fleet_longrun("SODA", ops=10, objects=2, key_dist="hotcold")

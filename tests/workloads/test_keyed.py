@@ -9,6 +9,8 @@ from repro.workloads.keyed import (
     KeyDistribution,
     correlated_crash_schedule,
     parse_key_dist,
+    partition_objects,
+    plan_objects,
 )
 
 
@@ -97,6 +99,88 @@ class TestDeterminism:
         second = dist.sample(np.random.default_rng(5), 4, 100)
         assert (first == second).all()
         assert set(first) <= {0, 1, 2, 3}
+
+
+class TestObjectPlan:
+    def test_plan_matches_the_monolithic_rng_sequence(self):
+        """The plan consumes exactly the draws the namespace driver does:
+        one allocate over all objects, then one 63-bit seed block."""
+        dist = KeyDistribution.zipf(1.1)
+        plan = plan_objects(dist, 10_000, 8, seed=42)
+        rng = np.random.default_rng(42)
+        assert list(plan.allocation) == dist.allocate(10_000, 8, rng)
+        assert list(plan.object_seeds) == [
+            int(s) for s in rng.integers(0, 2**63 - 1, size=8)
+        ]
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        theta=st.floats(min_value=0.0, max_value=10.0,
+                        allow_nan=False, allow_infinity=False),
+        objects=st.integers(min_value=1, max_value=48),
+        total=st.integers(min_value=0, max_value=50_000),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_plan_is_pure_and_sums_to_total(self, theta, objects, total, seed):
+        """Property: the plan is a pure function of (dist, total, objects,
+        seed) — the contract fleet byte-identity rests on — and its
+        allocation loses no budget."""
+        dist = KeyDistribution.zipf(theta)
+        plan = plan_objects(dist, total, objects, seed)
+        again = plan_objects(dist, total, objects, seed)
+        assert plan == again
+        assert sum(plan.allocation) == total
+        assert plan.objects == objects
+        assert len(plan.object_seeds) == objects
+        assert len(set(plan.object_seeds)) == objects  # 63-bit draws collide ~never
+
+
+class TestPartitionObjects:
+    def test_lpt_splits_the_hot_key_away(self):
+        bins = partition_objects(KeyDistribution.zipf(1.1), 8, 4)
+        assert bins[0] == [0]  # hottest key gets a partition of its own
+        assert sorted(g for bin_ in bins for g in bin_) == list(range(8))
+
+    def test_more_partitions_than_objects_collapses(self):
+        bins = partition_objects(KeyDistribution.uniform(), 3, 8)
+        assert len(bins) == 3
+        assert sorted(g for bin_ in bins for g in bin_) == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one object"):
+            partition_objects(KeyDistribution.uniform(), 0, 2)
+        with pytest.raises(ValueError, match="at least one partition"):
+            partition_objects(KeyDistribution.uniform(), 2, 0)
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        theta=st.floats(min_value=0.0, max_value=10.0,
+                        allow_nan=False, allow_infinity=False),
+        objects=st.integers(min_value=1, max_value=64),
+        partitions=st.integers(min_value=1, max_value=64),
+        total=st.integers(min_value=0, max_value=50_000),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_partitions_cover_the_allocation_exactly(
+        self, theta, objects, partitions, total, seed
+    ):
+        """Property: every object lands in exactly one partition, every
+        partition is non-empty and sorted, the split is deterministic,
+        and the per-partition allocated shares sum exactly back to the
+        monolithic allocation — no operation is gained or lost by
+        partitioning, whatever the skew."""
+        dist = KeyDistribution.zipf(theta)
+        bins = partition_objects(dist, objects, partitions)
+        assert bins == partition_objects(dist, objects, partitions)
+        assert len(bins) == min(partitions, objects)
+        assert all(bin_ for bin_ in bins)
+        assert all(bin_ == sorted(bin_) for bin_ in bins)
+        covered = sorted(g for bin_ in bins for g in bin_)
+        assert covered == list(range(objects))
+        plan = plan_objects(dist, total, objects, seed)
+        assert (
+            sum(plan.allocation[g] for bin_ in bins for g in bin_) == total
+        )
 
 
 class TestParse:
